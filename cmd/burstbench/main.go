@@ -1,0 +1,64 @@
+// Command burstbench regenerates Figure 7 and Table 5: the bursty
+// synthetic workload on Llama-70B, comparing DP, TP, and Shift
+// Parallelism on median TTFT/TPOT and peak throughput, with an optional
+// throughput-over-time series (the bottom panel of Figure 7).
+//
+// Usage:
+//
+//	burstbench
+//	burstbench -series         # per-bucket throughput time series
+//	burstbench -bucket 10s     # series bucket width
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	series := flag.Bool("series", false, "print throughput-over-time series")
+	bucket := flag.Duration("bucket", 10*time.Second, "series bucket width")
+	quick := flag.Bool("quick", false, "reduced workload")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	env.Seed = *seed
+
+	fmt.Println("=== Figure 7 / Table 5: bursty synthetic workload (Llama-70B) ===")
+	tab, results, err := experiments.Fig7Table5(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	if *series {
+		fmt.Printf("=== Throughput over time (tok/s per %v bucket) ===\n", *bucket)
+		st := stats.NewTable("Bucket", "DP", "TP", "Shift")
+		rates := map[string][]float64{}
+		maxLen := 0
+		for name, res := range results {
+			rates[name] = res.ThroughputSeries(*bucket).Rates()
+			if len(rates[name]) > maxLen {
+				maxLen = len(rates[name])
+			}
+		}
+		at := func(name string, i int) any {
+			if i < len(rates[name]) {
+				return rates[name][i]
+			}
+			return ""
+		}
+		for i := 0; i < maxLen; i++ {
+			st.AddRow(time.Duration(i)*(*bucket), at("DP", i), at("TP", i), at("Shift", i))
+		}
+		fmt.Println(st)
+	}
+}

@@ -1,0 +1,50 @@
+// Command costbreak regenerates Figure 15: the end-to-end cost breakdown
+// of a batch workload into model GEMMs, attention, all-reduce,
+// all-to-all, and engine overhead, across parallel configurations and
+// input sizes. The paper runs this figure on 8xH100; pass -h200 to use
+// the main evaluation node instead.
+//
+// Usage:
+//
+//	costbreak -model Llama-70B
+//	costbreak -model Qwen-32B
+//	costbreak -model Qwen-32B -h200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	modelName := flag.String("model", "Llama-70B", "model to break down")
+	h200 := flag.Bool("h200", false, "use the 8xH200 node instead of the paper's 8xH100")
+	quick := flag.Bool("quick", false, "reduced workload")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	if !*h200 {
+		env.Node = hw.H100Node()
+	}
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== Figure 15: cost breakdown (%s on 8x%s) ===\n", m.Name, env.Node.GPU.Name)
+	tab, err := experiments.Fig15(env, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	fmt.Println("=== Eq. 1: shift-model weight overhead ===")
+	fmt.Println(experiments.Eq1(env))
+}

@@ -1,0 +1,84 @@
+// Command prodbench regenerates Figure 16: the production composition of
+// Shift Parallelism with SwiftKV and speculative decoding against
+// latency- and throughput-optimized baseline deployments, on the
+// HumanEval + SWEBench + ShareGPT production mixture. It also prints the
+// design-decision ablations of DESIGN.md (threshold, chunk budget,
+// memory strategy, DP lockstep).
+//
+// Usage:
+//
+//	prodbench
+//	prodbench -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	ablations := flag.Bool("ablations", false, "also run the design-decision ablations")
+	quick := flag.Bool("quick", false, "reduced workload")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	env.Seed = *seed
+
+	fmt.Println("=== Figure 16: production stack comparison (Llama-70B) ===")
+	tab, err := experiments.Fig16(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	if !*ablations {
+		return
+	}
+	fmt.Println("=== Ablation D1: shift threshold ===")
+	t1, err := experiments.AblationThreshold(env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t1)
+
+	fmt.Println("=== Ablation D4: chunked-prefill budget ===")
+	t2, err := experiments.AblationChunkBudget(env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t2)
+
+	fmt.Println("=== Ablation D2: separate models vs on-the-fly slicing ===")
+	t3, err := experiments.AblationMemoryStrategy(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t3)
+
+	fmt.Println("=== Ablation: DP lockstep vs independent replicas ===")
+	t4, err := experiments.AblationDPLockstep(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t4)
+
+	fmt.Println("=== Ablation: prefix caching on the agentic trace ===")
+	t5, err := experiments.AblationPrefixCache(env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t5)
+
+	fmt.Println("=== Extension (paper future work): SP + expert parallelism ===")
+	t6, err := experiments.ExtensionEP(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t6)
+}

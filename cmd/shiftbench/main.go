@@ -1,0 +1,123 @@
+// Command shiftbench regenerates the paper's parameterized benchmarks:
+// Figures 1, 12, 13, 14, and 17, and Tables 1 and 3.
+//
+// Usage:
+//
+//	shiftbench -fig 12 -model Llama-70B
+//	shiftbench -fig 13 -model Qwen-32B
+//	shiftbench -fig 14
+//	shiftbench -fig 17
+//	shiftbench -table 1
+//	shiftbench -table 3
+//	shiftbench -all
+//	shiftbench -quick ...   (reduced scales)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.Int("fig", 0, "figure number to regenerate (1, 12, 13, 14, 17)")
+	table := flag.Int("table", 0, "table number to regenerate (1, 3)")
+	all := flag.Bool("all", false, "run every figure and table this tool covers")
+	modelName := flag.String("model", "Llama-70B", "model for per-model figures")
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	env.Seed = *seed
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	did := false
+	if *all || *fig == 1 || *fig == 12 {
+		did = true
+		run(fmt.Sprintf("Figure 1/12: latency vs throughput (%s, 4k/250)", m.Name), func() error {
+			tab, err := experiments.Fig12(env, m)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab)
+			return nil
+		})
+	}
+	if *all || *fig == 13 {
+		did = true
+		run(fmt.Sprintf("Figure 13: context sweep (%s)", m.Name), func() error {
+			tab, err := experiments.Fig13(env, m, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab)
+			return nil
+		})
+	}
+	if *all || *fig == 14 {
+		did = true
+		run(fmt.Sprintf("Figure 14: completion vs arrival rate (%s, 8k/250)", m.Name), func() error {
+			tab, err := experiments.Fig14(env, m, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab)
+			return nil
+		})
+	}
+	if *all || *fig == 17 {
+		did = true
+		run("Figure 17: all models x context sizes", func() error {
+			tab, err := experiments.Fig17(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab)
+			return nil
+		})
+	}
+	if *all || *table == 1 {
+		did = true
+		run(fmt.Sprintf("Table 1: qualitative tradeoffs (%s)", m.Name), func() error {
+			tab, err := experiments.Table1(env, m)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab)
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		did = true
+		run(fmt.Sprintf("Table 3: optimal parallelism per cell (%s)", m.Name), func() error {
+			tab, err := experiments.Table3(env, m)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab)
+			return nil
+		})
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,94 @@
+// Command tracereplay regenerates the production-trace case studies:
+// Figure 8 (trace characteristics), Figures 9 and 11a (Azure LLM Code on
+// Llama-70B), and Figures 10 and 11b (Mooncake conversation on Qwen-32B
+// with FP8 KV cache).
+//
+// Usage:
+//
+//	tracereplay -show                 # Figure 8 trace statistics
+//	tracereplay -trace azure          # Figures 9 + 11a
+//	tracereplay -trace mooncake       # Figures 10 + 11b
+//	tracereplay -trace azure -percurve  # include percentile curves
+//	tracereplay -trace azure -requests  # dump per-request metrics (CSV)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	show := flag.Bool("show", false, "print Figure 8 trace statistics")
+	traceName := flag.String("trace", "", "replay a trace: azure | mooncake")
+	perCurve := flag.Bool("percurve", false, "print Figure 11 percentile curves")
+	requests := flag.Bool("requests", false, "dump per-request metrics as CSV (Figures 9/10 raw data)")
+	quick := flag.Bool("quick", false, "replay only a prefix of the trace")
+	seed := flag.Uint64("seed", 42, "trace twin seed")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	env.Seed = *seed
+
+	if *show {
+		fmt.Println("=== Figure 8: production trace characteristics (twins) ===")
+		fmt.Println(experiments.Fig8(env))
+	}
+
+	switch *traceName {
+	case "":
+		if !*show {
+			flag.Usage()
+			os.Exit(2)
+		}
+	case "azure":
+		fmt.Println("=== Figure 9: Azure LLM Code twin on Llama-70B ===")
+		tab, results, err := experiments.Fig9Azure(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab)
+		emitExtras(results, *perCurve, *requests, "11a")
+	case "mooncake":
+		fmt.Println("=== Figure 10: Mooncake conversation twin on Qwen-32B (FP8 KV) ===")
+		tab, results, err := experiments.Fig10Mooncake(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab)
+		emitExtras(results, *perCurve, *requests, "11b")
+	default:
+		log.Fatalf("unknown trace %q (want azure or mooncake)", *traceName)
+	}
+}
+
+func emitExtras(results map[string]*serve.Result, perCurve, requests bool, figName string) {
+	if perCurve {
+		fmt.Printf("=== Figure %s: latency percentile curves ===\n", figName)
+		fmt.Println(experiments.Fig11(results))
+	}
+	if requests {
+		fmt.Println("system,request,arrival_ms,input,output,ttft_ms,tpot_ms,completion_ms,rejected")
+		names := make([]string, 0, len(results))
+		for name := range results {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, m := range results[name].PerRequest {
+				fmt.Printf("%s,%d,%.0f,%d,%d,%.1f,%.2f,%.1f,%v\n",
+					name, m.ID, ms(m.Arrival), m.InputTokens, m.OutputTokens,
+					ms(m.TTFT), ms(m.TPOT), ms(m.Completion), m.Rejected)
+			}
+		}
+	}
+}
+
+func ms(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1000 }

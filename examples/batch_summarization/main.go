@@ -1,0 +1,66 @@
+// Batch summarization: the throughput-sensitive workload of the paper's
+// introduction — thousands of documents arrive at once and aggregate
+// tokens/second determines job completion time and cost per token.
+//
+// This example submits 2,000 summarization requests (6k-token documents,
+// 200-token summaries) to Llama-70B on a simulated 8xH200 node under each
+// deployment, and reports job completion time, combined throughput, and
+// the derived cost per million tokens (at a nominal node price). DP wins
+// on raw throughput, TP loses ~40%, and Shift keeps within ~10% of SP
+// while retaining TP's interactive latency (Figure 12's tradeoff).
+//
+// Run with: go run ./examples/batch_summarization
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	cm, err := perf.New(experiments.DefaultEnv().Node, model.Llama70B(), perf.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusters, err := serve.StandardClusters(cm, perf.Parallelism{SP: 8, TP: 1}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		docs         = 2000
+		docTokens    = 6144
+		sumTokens    = 200
+		nodePerHour  = 98.32 // nominal p5en.48xlarge on-demand $/h
+		tokensPerJob = docs * (docTokens + sumTokens)
+	)
+	job := workload.Closed("summarize", docs, docTokens, sumTokens)
+	fmt.Printf("job: %d documents x (%d in + %d out) = %.1fM combined tokens\n\n",
+		docs, docTokens, sumTokens, float64(tokensPerJob)/1e6)
+
+	fmt.Printf("%-8s %14s %16s %14s %12s\n", "system", "job time", "throughput", "$/M tokens", "preempts")
+	for _, name := range []string{"DP", "TP", "SP", "Shift"} {
+		res, err := clusters[name].Run(job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tput := res.Throughput()
+		hours := res.Makespan.Hours()
+		costPerM := nodePerHour * hours / (float64(tokensPerJob) / 1e6)
+		fmt.Printf("%-8s %14v %13.0f/s %13.3f %12d\n",
+			name, res.Makespan.Round(time.Second), tput, costPerM, res.Preemptions)
+	}
+
+	fmt.Println()
+	fmt.Println("TP pays for its all-reduces on every layer of every chunk; SP's")
+	fmt.Println("all-to-alls shrink with the parallel degree (Table 2), so Shift")
+	fmt.Println("(which runs SP for these large batches) processes the job ~40%")
+	fmt.Println("faster than TP at the same deployment cost.")
+}

@@ -1,0 +1,346 @@
+// Package experiments implements one entry point per table and figure of
+// the paper's evaluation section. Each function builds the workload,
+// runs the serving simulator (or the functional engines), and returns
+// the same rows/series the paper reports. The cmd/ binaries and the
+// top-level benchmarks are thin wrappers over this package; the
+// per-experiment index lives in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Env fixes the hardware, calibration, and scale of an experiment run.
+type Env struct {
+	Node   hw.Node
+	Params perf.Params
+	Seed   uint64
+	// Quick shrinks workloads (for tests and benches); full-size runs
+	// reproduce the paper's scales.
+	Quick bool
+}
+
+// DefaultEnv is the paper's environment: one p5en node (8xH200).
+func DefaultEnv() Env {
+	return Env{Node: hw.P5enNode(), Params: perf.DefaultParams(), Seed: 42}
+}
+
+// scale shrinks workload sizes under Quick.
+func (e Env) scale(n int) int {
+	if e.Quick {
+		if n >= 16 {
+			return n / 8
+		}
+		return n
+	}
+	return n
+}
+
+// scaleMin shrinks like scale but never below floor — used where the
+// measurement needs saturation (peak-throughput closed batches).
+func (e Env) scaleMin(n, floor int) int {
+	s := e.scale(n)
+	if s < floor {
+		return floor
+	}
+	return s
+}
+
+// BasePar returns the paper's base configuration for each model:
+// full SP for the dense models and Qwen-30B-A3B (with KV replication),
+// (SP=4, TP=2) for Llama-17B-16E whose weights barely fit one GPU
+// (Section 4.6).
+func BasePar(m model.Config) perf.Parallelism {
+	if m.Name == "Llama-17B-16E" {
+		return perf.Parallelism{SP: 4, TP: 2}
+	}
+	return perf.Parallelism{SP: 8, TP: 1}
+}
+
+// clusters builds the four standard deployments for a model. DP replicas
+// that cannot fit the model on one GPU are dropped with a note (the
+// paper's L17B-16E DP uses a 2-GPU replica in that case).
+func (e Env) clusters(m model.Config) (map[string]serve.Cluster, error) {
+	cm, err := perf.New(e.Node, m, e.Params)
+	if err != nil {
+		return nil, err
+	}
+	return serve.StandardClusters(cm, BasePar(m), e.Node.NumGPUs)
+}
+
+// Order is the presentation order of the compared systems.
+var Order = []string{"DP", "TP", "SP", "Shift"}
+
+// Fig12 reproduces Figure 12 (and the headline Figure 1): minimum
+// latency (lone request) and peak throughput (saturating closed batch)
+// for 4k-input / 250-output requests.
+func Fig12(e Env, m model.Config) (*stats.Table, error) {
+	clusters, err := e.clusters(m)
+	if err != nil {
+		return nil, err
+	}
+	in, out := 4096, 250
+	nReq := e.scaleMin(400, 160)
+	tab := stats.NewTable("System", "TTFT ms", "TPOT ms", "Throughput tok/s",
+		"Response tok/s", "Generation tok/s")
+	for _, name := range Order {
+		cl := clusters[name]
+		ttft, tpot, err := cl.MinLatency(in, out)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		tput, err := cl.PeakThroughput(nReq, in, out)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		tab.AddRow(name,
+			ms(ttft), ms(tpot), tput,
+			float64(in)/ttft.Seconds(), 1/tpot.Seconds())
+	}
+	return tab, nil
+}
+
+// Fig13 reproduces Figure 13: minimum TTFT/TPOT and peak throughput
+// across input context sizes 2k-128k (250 output tokens).
+func Fig13(e Env, m model.Config, systems []string) (*stats.Table, error) {
+	clusters, err := e.clusters(m)
+	if err != nil {
+		return nil, err
+	}
+	if systems == nil {
+		systems = Order
+	}
+	lengths := []int{2048, 4096, 8192, 16384, 32768, 65536, 131072}
+	if e.Quick {
+		lengths = []int{2048, 8192, 32768}
+	}
+	tab := stats.NewTable("System", "Input", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	for _, name := range systems {
+		cl := clusters[name]
+		for _, n := range lengths {
+			ttft, tpot, err := cl.MinLatency(n, 250)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%d: %w", name, n, err)
+			}
+			// Saturation sized down as contexts grow (fixed token volume).
+			nReq := e.scale(max(32, 1<<20/n*4))
+			tput, err := cl.PeakThroughput(nReq, n, 250)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%d: %w", name, n, err)
+			}
+			tab.AddRow(name, n, ms(ttft), ms(tpot), tput)
+		}
+	}
+	return tab, nil
+}
+
+// Fig14 reproduces Figure 14: completion time vs arrival rate for 8k
+// input / 250 output Poisson traffic.
+func Fig14(e Env, m model.Config, rates []float64) (*stats.Table, error) {
+	clusters, err := e.clusters(m)
+	if err != nil {
+		return nil, err
+	}
+	if rates == nil {
+		rates = []float64{0.5, 1, 2, 4, 6, 8, 10, 12}
+		if e.Quick {
+			rates = []float64{1, 4, 8}
+		}
+	}
+	dur := time.Duration(e.scale(240)) * time.Second
+	tab := stats.NewTable("System", "Rate req/s", "p50 Completion ms", "Mean Completion ms", "p50 TTFT ms")
+	for _, name := range []string{"DP", "TP", "Shift"} { // the paper's Fig 14 lines
+		for _, rate := range rates {
+			tr := poissonTrace(e, rate, dur)
+			res, err := clusters[name].Run(tr)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(name, rate, res.Completion.Median(), res.Completion.Mean(), res.TTFT.Median())
+		}
+	}
+	return tab, nil
+}
+
+func poissonTrace(e Env, rate float64, dur time.Duration) *workload.Trace {
+	rng := rngFor(e, uint64(rate*1000))
+	return workload.Poisson(fmt.Sprintf("poisson-%.1f", rate), rng, rate, dur,
+		workload.FixedSize{In: 8192, Out: 250}, "uniform")
+}
+
+// Fig17 reproduces Figure 17: peak throughput and minimum latency across
+// all four Table 4 models and input lengths, including the MoE models'
+// special configurations (KV replication; (SP=4,TP=2) base).
+func Fig17(e Env) (*stats.Table, error) {
+	lengths := []int{2048, 8192, 32768, 131072}
+	if e.Quick {
+		lengths = []int{2048, 32768}
+	}
+	tab := stats.NewTable("Model", "System", "Input", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	for _, m := range model.All() {
+		if m.Name == "Qwen-30B-A3B" {
+			// FP8 KV in production configs for the small-KV-head model.
+			m.KVDType = model.FP8
+		}
+		clusters, err := e.clusters(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range Order {
+			cl := clusters[name]
+			for _, n := range lengths {
+				ttft, tpot, lerr := cl.MinLatency(n, 250)
+				if lerr != nil {
+					// DP cannot serve very long contexts for L17B-16E
+					// (weights leave too little KV on one GPU); report
+					// the hole instead of failing (Section 4.6).
+					tab.AddRow(m.Name, name, n, "n/a", "n/a", "n/a")
+					continue
+				}
+				nReq := e.scale(max(16, 1<<19/n*4))
+				tput, terr := cl.PeakThroughput(nReq, n, 250)
+				if terr != nil {
+					tab.AddRow(m.Name, name, n, ms(ttft), ms(tpot), "n/a")
+					continue
+				}
+				tab.AddRow(m.Name, name, n, ms(ttft), ms(tpot), tput)
+			}
+		}
+	}
+	return tab, nil
+}
+
+// Table1 derives the qualitative tradeoff matrix of Table 1 from
+// measured Fig-12-style points: for each metric, systems within 15% of
+// the best get "Best", within 2x "Good", else "Poor".
+func Table1(e Env, m model.Config) (*stats.Table, error) {
+	clusters, err := e.clusters(m)
+	if err != nil {
+		return nil, err
+	}
+	type point struct{ ttft, tpot, tput float64 }
+	pts := map[string]point{}
+	for _, name := range Order {
+		cl := clusters[name]
+		ttft, tpot, err := cl.MinLatency(4096, 250)
+		if err != nil {
+			return nil, err
+		}
+		tput, err := cl.PeakThroughput(e.scaleMin(240, 160), 4096, 250)
+		if err != nil {
+			return nil, err
+		}
+		pts[name] = point{ms(ttft), ms(tpot), tput}
+	}
+	grade := func(v, best float64, lowerBetter bool) string {
+		r := v / best
+		if !lowerBetter {
+			r = best / v
+		}
+		switch {
+		case r <= 1.15:
+			return "Best"
+		case r <= 2:
+			return "Good"
+		default:
+			return "Poor"
+		}
+	}
+	bestTTFT, bestTPOT, bestTput := pts[Order[0]].ttft, pts[Order[0]].tpot, pts[Order[0]].tput
+	for _, p := range pts {
+		bestTTFT = minF(bestTTFT, p.ttft)
+		bestTPOT = minF(bestTPOT, p.tpot)
+		bestTput = maxF(bestTput, p.tput)
+	}
+	tab := stats.NewTable("System", "TTFT", "TPOT", "Throughput")
+	for _, name := range Order {
+		p := pts[name]
+		tab.AddRow(name, grade(p.ttft, bestTTFT, true), grade(p.tpot, bestTPOT, true), grade(p.tput, bestTput, false))
+	}
+	return tab, nil
+}
+
+// Table3 reproduces the optimal-parallelism matrix: which system wins
+// each (metric, traffic) cell.
+func Table3(e Env, m model.Config) (*stats.Table, error) {
+	clusters, err := e.clusters(m)
+	if err != nil {
+		return nil, err
+	}
+	static := []string{"DP", "TP", "SP"}
+	// Low traffic: lone request. High traffic: saturated batch.
+	lowTTFT := map[string]float64{}
+	lowTPOT := map[string]float64{}
+	highTput := map[string]float64{}
+	highTTFT := map[string]float64{}
+	highTPOT := map[string]float64{}
+	for _, name := range static {
+		cl := clusters[name]
+		ttft, tpot, err := cl.MinLatency(4096, 250)
+		if err != nil {
+			return nil, err
+		}
+		lowTTFT[name], lowTPOT[name] = ms(ttft), ms(tpot)
+		res, err := cl.Run(workload.Closed("hi", e.scaleMin(240, 160), 4096, 250))
+		if err != nil {
+			return nil, err
+		}
+		highTput[name] = res.Throughput()
+		highTTFT[name] = res.TTFT.Median()
+		highTPOT[name] = res.TPOT.Median()
+	}
+	argMin := func(m map[string]float64) string {
+		best, bv := "", 0.0
+		for _, k := range static {
+			if best == "" || m[k] < bv {
+				best, bv = k, m[k]
+			}
+		}
+		return best
+	}
+	argMax := func(m map[string]float64) string {
+		best, bv := "", 0.0
+		for _, k := range static {
+			if best == "" || m[k] > bv {
+				best, bv = k, m[k]
+			}
+		}
+		return best
+	}
+	tab := stats.NewTable("Metric", "Low Traffic", "High Traffic")
+	tab.AddRow("TTFT", argMin(lowTTFT), argMin(highTTFT))
+	tab.AddRow("TPOT", argMin(lowTPOT), argMin(highTPOT))
+	tab.AddRow("Throughput", argMax(highTput), argMax(highTput))
+	return tab, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ExtensionEP evaluates the paper's stated future work — combining SP
+// with expert parallelism for MoE models (Section 4.6) — on both MoE
+// models: Shift Parallelism with and without EP sharding of the
+// experts, at small and large context.
+func ExtensionEP(e Env) (*stats.Table, error) {
+	tab := stats.NewTable("Model", "Config", "Weights GB/GPU", "KV tokens", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	for _, m := range []model.Config{model.Llama17B16E(), model.Qwen30BA3B()} {
+		if m.Name == "Qwen-30B-A3B" {
+			m.KVDType = model.FP8
+		}
+		cm, err := perf.New(e.Node, m, e.Params)
+		if err != nil {
+			return nil, err
+		}
+		type variant struct {
+			name string
+			par  perf.Parallelism
+			ep   perf.EPConfig
+		}
+		variants := []variant{
+			{"Shift " + BasePar(m).String(), BasePar(m), perf.EPConfig{}},
+			{"Shift " + BasePar(m).String() + "+EP8", BasePar(m), perf.EPConfig{Degree: 8}},
+		}
+		if m.Name == "Llama-17B-16E" {
+			// EP frees enough memory to deploy the full-SP base config
+			// that plain Shift cannot (Section 4.6's memory wall).
+			variants = append(variants, variant{"Shift (SP=8)+EP8", perf.Parallelism{SP: 8, TP: 1}, perf.EPConfig{Degree: 8}})
+		}
+		for _, v := range variants {
+			cfg := serve.Config{CM: cm, Par: v.par, Strategy: serve.StrategyShift, EP: v.ep}
+			cl := serve.SingleEngine(v.name, cfg)
+			ttft, tpot, err := cl.MinLatency(4096, 250)
+			if err != nil {
+				tab.AddRow(m.Name, v.name, cm.EPWeightBytesPerGPU(v.par, v.ep, true)/1e9, 0, "n/a", "n/a", "n/a")
+				continue
+			}
+			tput, err := cl.PeakThroughput(e.scaleMin(240, 160), 4096, 250)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(m.Name, v.name,
+				cm.EPWeightBytesPerGPU(v.par, v.ep, true)/1e9,
+				cm.EPKVCapacityTokens(v.par, v.ep, true),
+				ms(ttft), ms(tpot), tput)
+		}
+	}
+	return tab, nil
+}
+
+// AblationPrefixCache measures vLLM-style automatic prefix caching on
+// the agentic Azure twin (where turns share long repo prefixes) under
+// Shift Parallelism.
+func AblationPrefixCache(e Env, rates []float64) (*stats.Table, error) {
+	m := model.Llama70B()
+	cm, err := perf.New(e.Node, m, e.Params)
+	if err != nil {
+		return nil, err
+	}
+	if rates == nil {
+		rates = []float64{0, 0.3, 0.6, 0.9}
+		if e.Quick {
+			rates = []float64{0, 0.6}
+		}
+	}
+	tr := traceWindow(e, trace.AzureCode(e.Seed), 8)
+	tab := stats.NewTable("Hit rate", "p50 TTFT ms", "p99 TTFT ms", "p50 Compl ms", "Throughput tok/s")
+	for _, rate := range rates {
+		cfg := serve.Config{
+			CM: cm, Par: perf.Parallelism{SP: 8, TP: 1},
+			Strategy: serve.StrategyShift, PrefixCacheHitRate: rate,
+		}
+		res, err := serve.SingleEngine("apc", cfg).Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(rate, res.TTFT.Median(), res.TTFT.P99(), res.Completion.Median(), res.Throughput())
+	}
+	return tab, nil
+}

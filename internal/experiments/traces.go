@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func rngFor(e Env, salt uint64) *tensor.RNG {
+	return tensor.NewRNG(e.Seed ^ salt)
+}
+
+// burstyTrace builds the Figure 7 workload at the env's scale.
+func burstyTrace(e Env) *workload.Trace {
+	dur := 10 * time.Minute
+	if e.Quick {
+		dur = 90 * time.Second
+	}
+	return trace.Bursty(e.Seed, dur)
+}
+
+// Fig7Table5 replays the bursty synthetic workload on Llama-70B and
+// reports Table 5's rows (median TTFT/TPOT, peak throughput) plus the
+// per-run results for time-series plotting.
+func Fig7Table5(e Env) (*stats.Table, map[string]*serve.Result, error) {
+	clusters, err := e.clusters(model.Llama70B())
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := burstyTrace(e)
+	tab := stats.NewTable("System", "Median TTFT ms", "Median TPOT ms", "Peak Throughput tok/s", "p99 TTFT ms")
+	results := map[string]*serve.Result{}
+	for _, name := range []string{"DP", "TP", "Shift"} { // Table 5's rows
+		cl := clusters[name]
+		cl.RecordEvents = true
+		res, err := cl.Run(tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[name] = res
+		peak := res.ThroughputSeries(5 * time.Second).Peak()
+		tab.AddRow(name, res.TTFT.Median(), res.TPOT.Median(), peak, res.TTFT.P99())
+	}
+	return tab, results, nil
+}
+
+// Fig8 summarizes the two production trace twins the way Figure 8 plots
+// them (request counts, size distributions, arrival rates).
+func Fig8(e Env) *stats.Table {
+	tab := stats.NewTable("Trace", "Requests", "Mean In", "Max In", "Mean Out", "Max Out", "Req/s", "Offered tok/s")
+	for _, tw := range []struct {
+		name string
+		t    *workload.Trace
+	}{
+		{"Azure LLM Code (twin)", trace.AzureCode(e.Seed)},
+		{"Mooncake Conversation (twin)", trace.MooncakeConversation(e.Seed)},
+	} {
+		s := trace.Summarize(tw.t)
+		tab.AddRow(tw.name, s.Requests, s.MeanIn, s.MaxIn, s.MeanOut, s.MaxOut, s.ArrivalsPerS, s.OfferedRate)
+	}
+	return tab
+}
+
+// traceWindow optionally truncates a trace to its first 1/div for Quick
+// runs.
+func traceWindow(e Env, t *workload.Trace, div int) *workload.Trace {
+	if !e.Quick {
+		return t
+	}
+	cut := t.Duration() / time.Duration(div)
+	var reqs []workload.Request
+	for _, r := range t.Requests {
+		if r.Arrival <= cut {
+			reqs = append(reqs, r)
+		}
+	}
+	return &workload.Trace{Name: t.Name + "-quick", Requests: reqs}
+}
+
+// Fig9Azure replays the Azure code twin on Llama-70B across all four
+// systems (Figures 9 and 11a).
+func Fig9Azure(e Env) (*stats.Table, map[string]*serve.Result, error) {
+	clusters, err := e.clusters(model.Llama70B())
+	if err != nil {
+		return nil, nil, err
+	}
+	return replay(e, clusters, traceWindow(e, trace.AzureCode(e.Seed), 8))
+}
+
+// Fig10Mooncake replays the Mooncake conversation twin on Qwen-32B with
+// FP8 KV cache (Figures 10 and 11b). DP and TP cannot sustain the
+// traffic; SP and Shift can — visible as exploding vs flat TTFT.
+func Fig10Mooncake(e Env) (*stats.Table, map[string]*serve.Result, error) {
+	m := model.Qwen32B()
+	m.KVDType = model.FP8 // the paper's mitigation (Section 4.2.2)
+	clusters, err := e.clusters(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Queue growth is the phenomenon under test, so the quick window
+	// keeps a third of the trace (enough time for DP/TP to drown).
+	return replay(e, clusters, traceWindow(e, trace.MooncakeConversation(e.Seed), 3))
+}
+
+func replay(e Env, clusters map[string]serve.Cluster, tr *workload.Trace) (*stats.Table, map[string]*serve.Result, error) {
+	tab := stats.NewTable("System", "p50 TTFT ms", "p99 TTFT ms", "p50 TPOT ms", "p99 TPOT ms", "p50 Compl ms", "p99 Compl ms")
+	results := map[string]*serve.Result{}
+	for _, name := range Order {
+		res, err := clusters[name].Run(tr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		results[name] = res
+		tab.AddRow(name,
+			res.TTFT.Median(), res.TTFT.P99(),
+			res.TPOT.Median(), res.TPOT.P99(),
+			res.Completion.Median(), res.Completion.P99())
+	}
+	return tab, results, nil
+}
+
+// Fig11 renders the percentile curves of Figure 11 for a replay's
+// results: percentiles 10..99.9 of TTFT, TPOT, and completion.
+func Fig11(results map[string]*serve.Result) *stats.Table {
+	ps := []float64{10, 25, 50, 75, 90, 95, 99}
+	tab := stats.NewTable("System", "Percentile", "TTFT ms", "TPOT ms", "Completion ms")
+	for _, name := range Order {
+		res, ok := results[name]
+		if !ok {
+			continue
+		}
+		for _, p := range ps {
+			tab.AddRow(name, p, res.TTFT.Percentile(p), res.TPOT.Percentile(p), res.Completion.Percentile(p))
+		}
+	}
+	return tab
+}

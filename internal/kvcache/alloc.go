@@ -1,0 +1,115 @@
+package kvcache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoSpace is returned when the allocator cannot satisfy a request;
+// the serving engine reacts by queueing or preempting (Section 4.2.2's
+// "KV cache becomes full, causing wait times").
+var ErrNoSpace = errors.New("kvcache: out of blocks")
+
+// Allocator is a vLLM-style paged KV block allocator. Blocks hold
+// BlockTokens tokens each; sequences own block lists that grow during
+// decode. The allocator only accounts — values live elsewhere.
+type Allocator struct {
+	BlockTokens int
+	NumBlocks   int
+
+	free   int
+	tables map[int]int // seqID -> blocks held
+}
+
+// NewAllocator returns an allocator over numBlocks blocks of blockTokens
+// tokens each.
+func NewAllocator(blockTokens, numBlocks int) *Allocator {
+	if blockTokens <= 0 || numBlocks < 0 {
+		panic(fmt.Sprintf("kvcache: bad allocator dims block=%d n=%d", blockTokens, numBlocks))
+	}
+	return &Allocator{
+		BlockTokens: blockTokens,
+		NumBlocks:   numBlocks,
+		free:        numBlocks,
+		tables:      make(map[int]int),
+	}
+}
+
+// BlocksFor returns the number of blocks needed to hold tokens.
+func (a *Allocator) BlocksFor(tokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + a.BlockTokens - 1) / a.BlockTokens
+}
+
+// FreeBlocks returns the number of unallocated blocks.
+func (a *Allocator) FreeBlocks() int { return a.free }
+
+// UsedBlocks returns the number of allocated blocks.
+func (a *Allocator) UsedBlocks() int { return a.NumBlocks - a.free }
+
+// FreeTokens returns the token capacity of the free blocks.
+func (a *Allocator) FreeTokens() int { return a.free * a.BlockTokens }
+
+// Holds returns the number of blocks currently owned by the sequence.
+func (a *Allocator) Holds(seqID int) int { return a.tables[seqID] }
+
+// Ensure grows the sequence's allocation to cover tokens total tokens.
+// It is idempotent: ensuring a smaller count is a no-op. Returns
+// ErrNoSpace (allocating nothing) if the growth cannot be satisfied.
+func (a *Allocator) Ensure(seqID, tokens int) error {
+	need := a.BlocksFor(tokens) - a.tables[seqID]
+	if need <= 0 {
+		return nil
+	}
+	if need > a.free {
+		return ErrNoSpace
+	}
+	a.free -= need
+	a.tables[seqID] += need
+	return nil
+}
+
+// CanEnsure reports whether Ensure(seqID, tokens) would succeed.
+func (a *Allocator) CanEnsure(seqID, tokens int) bool {
+	return a.BlocksFor(tokens)-a.tables[seqID] <= a.free
+}
+
+// Release frees every block owned by the sequence.
+func (a *Allocator) Release(seqID int) {
+	a.free += a.tables[seqID]
+	delete(a.tables, seqID)
+}
+
+// Sequences returns the number of sequences holding blocks.
+func (a *Allocator) Sequences() int { return len(a.tables) }
+
+// CheckInvariant verifies conservation: free + held == total. The serving
+// simulator calls this after every scheduling step in tests.
+func (a *Allocator) CheckInvariant() error {
+	held := 0
+	for id, n := range a.tables {
+		if n <= 0 {
+			return fmt.Errorf("kvcache: seq %d holds %d blocks", id, n)
+		}
+		held += n
+	}
+	if held+a.free != a.NumBlocks {
+		return fmt.Errorf("kvcache: leak: held %d + free %d != total %d", held, a.free, a.NumBlocks)
+	}
+	return nil
+}
+
+// CapacityTokens computes how many KV tokens fit in memBytes for a model
+// whose per-token-per-rank KV footprint is kvBytesPerToken. Used to size
+// allocators from hardware and model specs.
+func CapacityTokens(memBytes, kvBytesPerToken float64) int {
+	if kvBytesPerToken <= 0 {
+		panic("kvcache: non-positive kv bytes per token")
+	}
+	if memBytes <= 0 {
+		return 0
+	}
+	return int(memBytes / kvBytesPerToken)
+}

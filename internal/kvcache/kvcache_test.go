@@ -1,0 +1,256 @@
+package kvcache
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func row(dim int, base float64) []float64 {
+	r := make([]float64, dim)
+	for i := range r {
+		r[i] = base + float64(i)
+	}
+	return r
+}
+
+func TestCacheAppendAndRead(t *testing.T) {
+	c := NewCache(2, 3, 4)
+	c.Append(7, 1, 2, row(4, 10), row(4, 20))
+	c.Append(7, 1, 2, row(4, 30), row(4, 40))
+	if c.Len(7) != 2 {
+		t.Fatalf("len = %d", c.Len(7))
+	}
+	k := c.K(7, 1, 2)
+	if k.Rows != 2 || k.Cols != 4 {
+		t.Fatalf("k shape %dx%d", k.Rows, k.Cols)
+	}
+	if k.At(0, 0) != 10 || k.At(1, 3) != 33 {
+		t.Fatalf("k contents wrong: %+v", k)
+	}
+	v := c.V(7, 1, 2)
+	if v.At(1, 0) != 40 {
+		t.Fatalf("v contents wrong: %+v", v)
+	}
+}
+
+func TestCacheRowsCopied(t *testing.T) {
+	c := NewCache(1, 1, 2)
+	r := []float64{1, 2}
+	c.Append(0, 0, 0, r, r)
+	r[0] = 99
+	if c.K(0, 0, 0).At(0, 0) != 1 {
+		t.Fatal("cache aliased caller's row")
+	}
+}
+
+func TestCacheUnknownSeqEmpty(t *testing.T) {
+	c := NewCache(1, 1, 2)
+	if c.Len(42) != 0 {
+		t.Fatal("unknown seq should be empty")
+	}
+}
+
+func TestCacheDrop(t *testing.T) {
+	c := NewCache(1, 1, 2)
+	c.Append(1, 0, 0, row(2, 0), row(2, 0))
+	c.Append(2, 0, 0, row(2, 0), row(2, 0))
+	c.Drop(1)
+	seqs := c.Sequences()
+	if len(seqs) != 1 || seqs[0] != 2 {
+		t.Fatalf("sequences = %v", seqs)
+	}
+}
+
+func TestCacheDimChecks(t *testing.T) {
+	c := NewCache(2, 2, 3)
+	for _, fn := range []func(){
+		func() { c.Append(0, 5, 0, row(3, 0), row(3, 0)) }, // bad layer
+		func() { c.Append(0, 0, 5, row(3, 0), row(3, 0)) }, // bad head
+		func() { c.Append(0, 0, 0, row(2, 0), row(3, 0)) }, // bad dim
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCacheEqualAndFingerprint(t *testing.T) {
+	build := func() *Cache {
+		c := NewCache(2, 2, 3)
+		for tok := 0; tok < 5; tok++ {
+			for l := 0; l < 2; l++ {
+				for h := 0; h < 2; h++ {
+					c.Append(3, l, h, row(3, float64(tok*100+l*10+h)), row(3, float64(tok)))
+				}
+			}
+		}
+		return c
+	}
+	a, b := build(), build()
+	if !Equal(a, b, 0) {
+		t.Fatal("identical caches not equal")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical caches fingerprint differently")
+	}
+	b.Append(3, 0, 0, row(3, 999), row(3, 999))
+	if Equal(a, b, 0) {
+		t.Fatal("different caches compared equal")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different caches fingerprint identically")
+	}
+}
+
+func TestFingerprintOrderSensitive(t *testing.T) {
+	// Heads in a different order must produce a different fingerprint —
+	// the paper's Figure 6 point: invariance requires the same ordering.
+	a := NewCache(1, 2, 2)
+	a.Append(0, 0, 0, []float64{1, 2}, []float64{0, 0})
+	a.Append(0, 0, 1, []float64{3, 4}, []float64{0, 0})
+	b := NewCache(1, 2, 2)
+	b.Append(0, 0, 0, []float64{3, 4}, []float64{0, 0})
+	b.Append(0, 0, 1, []float64{1, 2}, []float64{0, 0})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("head-permuted caches should fingerprint differently")
+	}
+	if Equal(a, b, 0) {
+		t.Fatal("head-permuted caches should not be equal")
+	}
+}
+
+func TestCacheEqualShapeMismatch(t *testing.T) {
+	if Equal(NewCache(1, 1, 2), NewCache(1, 2, 2), 1) {
+		t.Fatal("different-shape caches compared equal")
+	}
+}
+
+func TestAllocatorBasics(t *testing.T) {
+	a := NewAllocator(16, 10)
+	if a.FreeBlocks() != 10 || a.UsedBlocks() != 0 {
+		t.Fatal("fresh allocator wrong")
+	}
+	if a.BlocksFor(1) != 1 || a.BlocksFor(16) != 1 || a.BlocksFor(17) != 2 || a.BlocksFor(0) != 0 {
+		t.Fatal("BlocksFor wrong")
+	}
+	if err := a.Ensure(1, 40); err != nil { // 3 blocks
+		t.Fatal(err)
+	}
+	if a.Holds(1) != 3 || a.FreeBlocks() != 7 {
+		t.Fatalf("holds=%d free=%d", a.Holds(1), a.FreeBlocks())
+	}
+	// Growing to 50 tokens needs 4 blocks total, 1 more.
+	if err := a.Ensure(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if a.Holds(1) != 4 {
+		t.Fatalf("holds = %d", a.Holds(1))
+	}
+	// Shrinking request is a no-op.
+	if err := a.Ensure(1, 10); err != nil || a.Holds(1) != 4 {
+		t.Fatal("shrink should be no-op")
+	}
+	a.Release(1)
+	if a.FreeBlocks() != 10 || a.Sequences() != 0 {
+		t.Fatal("release did not return blocks")
+	}
+}
+
+func TestAllocatorNoSpace(t *testing.T) {
+	a := NewAllocator(16, 2)
+	if err := a.Ensure(1, 32); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Ensure(2, 1)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+	// Failed ensure must not leak partial allocations.
+	if a.Holds(2) != 0 || a.FreeBlocks() != 0 {
+		t.Fatal("failed ensure leaked blocks")
+	}
+	if a.CanEnsure(2, 1) {
+		t.Fatal("CanEnsure should be false")
+	}
+	a.Release(1)
+	if !a.CanEnsure(2, 32) {
+		t.Fatal("CanEnsure should be true after release")
+	}
+}
+
+func TestAllocatorInvariant(t *testing.T) {
+	a := NewAllocator(8, 100)
+	for i := 0; i < 20; i++ {
+		if err := a.Ensure(i, 8*(i%5+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i += 2 {
+		a.Release(i)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAllocatorConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := NewAllocator(4, 64)
+		for _, op := range ops {
+			seq := int(op % 8)
+			tokens := int(op/8) % 40
+			if op%3 == 0 {
+				a.Release(seq)
+			} else if err := a.Ensure(seq, tokens); err != nil && !errors.Is(err, ErrNoSpace) {
+				return false
+			}
+			if a.CheckInvariant() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityTokens(t *testing.T) {
+	// 1 GB at 1 KB/token = 1M tokens.
+	if got := CapacityTokens(1e9, 1e3); got != 1000000 {
+		t.Fatalf("capacity = %d", got)
+	}
+	if CapacityTokens(-5, 1e3) != 0 {
+		t.Fatal("negative memory should give zero capacity")
+	}
+}
+
+func TestReleaseUnknownSeqHarmless(t *testing.T) {
+	a := NewAllocator(4, 4)
+	a.Release(99)
+	if a.FreeBlocks() != 4 {
+		t.Fatal("release of unknown seq changed state")
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheKReturnsMatrixCopy(t *testing.T) {
+	c := NewCache(1, 1, 2)
+	c.Append(0, 0, 0, []float64{1, 2}, []float64{3, 4})
+	k := c.K(0, 0, 0)
+	k.Set(0, 0, 99)
+	if c.K(0, 0, 0).At(0, 0) != 1 {
+		t.Fatal("K exposed internal storage")
+	}
+	_ = tensor.New(1, 1) // keep tensor import honest
+}

@@ -1,0 +1,207 @@
+// Package model holds the LLM architecture descriptions used across the
+// reproduction: the four evaluation models of the paper's Table 4 plus
+// derived quantities (weight bytes, flops per token, KV bytes per token)
+// that the cost model and the KV cache sizing consume.
+package model
+
+import "fmt"
+
+// DType is a tensor element type, used for weight and KV cache sizing.
+type DType int
+
+const (
+	// FP8 is 1 byte per element (the paper quantizes all models to FP8).
+	FP8 DType = iota
+	// FP16 is 2 bytes per element (the default KV cache dtype in vLLM).
+	FP16
+)
+
+// Bytes returns the element size of the dtype.
+func (d DType) Bytes() int {
+	switch d {
+	case FP8:
+		return 1
+	case FP16:
+		return 2
+	default:
+		panic(fmt.Sprintf("model: unknown dtype %d", int(d)))
+	}
+}
+
+// String returns the conventional dtype name.
+func (d DType) String() string {
+	switch d {
+	case FP8:
+		return "FP8"
+	case FP16:
+		return "FP16"
+	default:
+		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// Config describes a transformer LLM at the granularity the paper's
+// evaluation needs (Table 4 plus enough detail to derive costs).
+type Config struct {
+	Name string
+	// Layers is the number of transformer layers.
+	Layers int
+	// Hidden is the embedding dimension d.
+	Hidden int
+	// QHeads is the number of query heads h.
+	QHeads int
+	// KVHeads is the number of key/value heads h_kv (GQA when < QHeads).
+	KVHeads int
+	// FFN is the MLP intermediate dimension d'.
+	FFN int
+	// Vocab is the vocabulary size (for the LM head cost).
+	Vocab int
+	// TotalParams is the total parameter count (static weights).
+	TotalParams float64
+	// ActiveParams is the parameter count active per token; equals
+	// TotalParams for dense models and the routed subset for MoE.
+	ActiveParams float64
+	// SharedParams is the non-expert parameter count of an MoE model
+	// (attention, embeddings, router): the part expert parallelism
+	// cannot shard. Zero for dense models.
+	SharedParams float64
+	// WeightDType is the quantization of the stored weights.
+	WeightDType DType
+	// KVDType is the KV cache element type.
+	KVDType DType
+}
+
+// Validate reports structural errors in the config.
+func (c Config) Validate() error {
+	if c.Layers <= 0 || c.Hidden <= 0 || c.QHeads <= 0 || c.KVHeads <= 0 {
+		return fmt.Errorf("model %s: non-positive dimensions", c.Name)
+	}
+	if c.Hidden%c.QHeads != 0 {
+		return fmt.Errorf("model %s: hidden %d not divisible by q heads %d", c.Name, c.Hidden, c.QHeads)
+	}
+	if c.QHeads%c.KVHeads != 0 {
+		return fmt.Errorf("model %s: q heads %d not a multiple of kv heads %d", c.Name, c.QHeads, c.KVHeads)
+	}
+	if c.ActiveParams <= 0 || c.TotalParams < c.ActiveParams {
+		return fmt.Errorf("model %s: bad param counts total=%g active=%g", c.Name, c.TotalParams, c.ActiveParams)
+	}
+	if c.SharedParams < 0 || c.SharedParams > c.ActiveParams {
+		return fmt.Errorf("model %s: shared params %g outside [0, active %g]", c.Name, c.SharedParams, c.ActiveParams)
+	}
+	return nil
+}
+
+// IsMoE reports whether the model routes tokens to a parameter subset.
+func (c Config) IsMoE() bool { return c.ActiveParams < c.TotalParams }
+
+// HeadDim returns the per-head dimension d/h.
+func (c Config) HeadDim() int { return c.Hidden / c.QHeads }
+
+// GQAGroup returns the number of query heads sharing each KV head.
+func (c Config) GQAGroup() int { return c.QHeads / c.KVHeads }
+
+// WeightBytes returns the stored weight footprint in bytes.
+func (c Config) WeightBytes() float64 {
+	return c.TotalParams * float64(c.WeightDType.Bytes())
+}
+
+// FlopsPerToken returns the dense flops to process one token through the
+// linear layers (2 flops per active parameter, the standard estimate).
+func (c Config) FlopsPerToken() float64 {
+	return 2 * c.ActiveParams
+}
+
+// KVBytesPerToken returns the KV cache bytes appended per token across
+// all layers: 2 (K and V) * layers * kvHeads * headDim * dtype.
+func (c Config) KVBytesPerToken() float64 {
+	return float64(2*c.Layers*c.KVHeads*c.HeadDim()) * float64(c.KVDType.Bytes())
+}
+
+// ExpertParams returns the expert (shardable-by-EP) parameter count:
+// TotalParams - SharedParams for MoE models, zero for dense.
+func (c Config) ExpertParams() float64 {
+	if !c.IsMoE() {
+		return 0
+	}
+	return c.TotalParams - c.SharedParams
+}
+
+// ActiveExpertParams returns the expert parameters activated per token.
+func (c Config) ActiveExpertParams() float64 {
+	if !c.IsMoE() {
+		return 0
+	}
+	return c.ActiveParams - c.SharedParams
+}
+
+// ActiveWeightBytesPerToken returns the weight bytes that must stream
+// from HBM to decode a single token (active parameters only); this is
+// the memory-bound decode cost.
+func (c Config) ActiveWeightBytesPerToken() float64 {
+	return c.ActiveParams * float64(c.WeightDType.Bytes())
+}
+
+const billion = 1e9
+
+// Llama70B is Llama-3.3-70B-Instruct (FP8): 80 layers, d=8192, 64 q / 8 kv
+// heads (Table 4, row 1).
+func Llama70B() Config {
+	return Config{
+		Name: "Llama-70B", Layers: 80, Hidden: 8192,
+		QHeads: 64, KVHeads: 8, FFN: 28672, Vocab: 128256,
+		TotalParams: 70 * billion, ActiveParams: 70 * billion,
+		WeightDType: FP8, KVDType: FP16,
+	}
+}
+
+// Qwen32B is Qwen3-32B (FP8): 64 layers, d=5120, 64 q / 8 kv heads
+// (Table 4, row 2).
+func Qwen32B() Config {
+	return Config{
+		Name: "Qwen-32B", Layers: 64, Hidden: 5120,
+		QHeads: 64, KVHeads: 8, FFN: 25600, Vocab: 151936,
+		TotalParams: 32 * billion, ActiveParams: 32 * billion,
+		WeightDType: FP8, KVDType: FP16,
+	}
+}
+
+// Llama17B16E is Llama-4-Scout-style 109B/17B MoE: 48 layers, d=5120,
+// 40 q / 8 kv heads (Table 4, row 3). The paper notes its FP8 footprint is
+// 109 GB, barely fitting one H200.
+func Llama17B16E() Config {
+	return Config{
+		Name: "Llama-17B-16E", Layers: 48, Hidden: 5120,
+		QHeads: 40, KVHeads: 8, FFN: 16384, Vocab: 202048,
+		TotalParams: 109 * billion, ActiveParams: 17 * billion,
+		SharedParams: 6 * billion,
+		WeightDType:  FP8, KVDType: FP16,
+	}
+}
+
+// Qwen30BA3B is Qwen3-30B-A3B MoE: 48 layers, d=2048, 32 q / 4 kv heads
+// (Table 4, row 4). Its 4 KV heads force KV cache replication to scale to
+// 8 ranks (Section 3.2.1).
+func Qwen30BA3B() Config {
+	return Config{
+		Name: "Qwen-30B-A3B", Layers: 48, Hidden: 2048,
+		QHeads: 32, KVHeads: 4, FFN: 6144, Vocab: 151936,
+		TotalParams: 30 * billion, ActiveParams: 3 * billion,
+		SharedParams: 1.2 * billion,
+		WeightDType:  FP8, KVDType: FP16,
+	}
+}
+
+// All returns the four evaluation models in the order of Table 4.
+func All() []Config {
+	return []Config{Llama70B(), Qwen32B(), Llama17B16E(), Qwen30BA3B()}
+}
+
+// ByName returns the config whose Name matches, or an error.
+func ByName(name string) (Config, error) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown model %q", name)
+}

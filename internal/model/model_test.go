@@ -1,0 +1,124 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestAllValidate(t *testing.T) {
+	for _, c := range All() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestTable4Rows(t *testing.T) {
+	cases := []struct {
+		cfg                             Config
+		layers, hidden, qHeads, kvHeads int
+	}{
+		{Llama70B(), 80, 8192, 64, 8},
+		{Qwen32B(), 64, 5120, 64, 8},
+		{Llama17B16E(), 48, 5120, 40, 8},
+		{Qwen30BA3B(), 48, 2048, 32, 4},
+	}
+	for _, c := range cases {
+		if c.cfg.Layers != c.layers || c.cfg.Hidden != c.hidden ||
+			c.cfg.QHeads != c.qHeads || c.cfg.KVHeads != c.kvHeads {
+			t.Errorf("%s: got (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				c.cfg.Name, c.cfg.Layers, c.cfg.Hidden, c.cfg.QHeads, c.cfg.KVHeads,
+				c.layers, c.hidden, c.qHeads, c.kvHeads)
+		}
+	}
+}
+
+func TestMoEFlags(t *testing.T) {
+	if Llama70B().IsMoE() || Qwen32B().IsMoE() {
+		t.Fatal("dense models flagged MoE")
+	}
+	if !Llama17B16E().IsMoE() || !Qwen30BA3B().IsMoE() {
+		t.Fatal("MoE models not flagged")
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	c := Llama70B()
+	if c.HeadDim() != 128 {
+		t.Fatalf("head dim = %d", c.HeadDim())
+	}
+	if c.GQAGroup() != 8 {
+		t.Fatalf("gqa group = %d", c.GQAGroup())
+	}
+	// FP8 weights: 70e9 bytes.
+	if c.WeightBytes() != 70e9 {
+		t.Fatalf("weight bytes = %g", c.WeightBytes())
+	}
+	if c.FlopsPerToken() != 140e9 {
+		t.Fatalf("flops/token = %g", c.FlopsPerToken())
+	}
+	// KV per token: 2 * 80 layers * 8 heads * 128 dim * 2 bytes = 327680.
+	if got := c.KVBytesPerToken(); got != 327680 {
+		t.Fatalf("kv bytes/token = %g", got)
+	}
+}
+
+func TestMoEDecodeBytesUseActiveParams(t *testing.T) {
+	c := Qwen30BA3B()
+	if c.ActiveWeightBytesPerToken() != 3e9 {
+		t.Fatalf("active weight bytes = %g", c.ActiveWeightBytesPerToken())
+	}
+	if c.FlopsPerToken() != 6e9 {
+		t.Fatalf("MoE flops/token should use active params, got %g", c.FlopsPerToken())
+	}
+}
+
+func TestLlama17BFootprintExceedsSingleH200WithHeadroom(t *testing.T) {
+	// The paper: 109 GB footprint "barely fits into a single GPU" (141 GB),
+	// forcing TP=2 in the base config for long contexts.
+	c := Llama17B16E()
+	if c.WeightBytes() != 109e9 {
+		t.Fatalf("L17B-16E weight bytes = %g", c.WeightBytes())
+	}
+}
+
+func TestDTypes(t *testing.T) {
+	if FP8.Bytes() != 1 || FP16.Bytes() != 2 {
+		t.Fatal("dtype sizes wrong")
+	}
+	if FP8.String() != "FP8" || FP16.String() != "FP16" {
+		t.Fatal("dtype names wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("Qwen-32B")
+	if err != nil || c.Hidden != 5120 {
+		t.Fatalf("ByName: %v %+v", err, c)
+	}
+	if _, err := ByName("GPT-5"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "zero"},
+		func() Config { c := Llama70B(); c.Hidden = 1000; return c }(),        // not divisible by heads
+		func() Config { c := Llama70B(); c.KVHeads = 5; return c }(),          // q not multiple of kv
+		func() Config { c := Llama70B(); c.ActiveParams = 100e9; return c }(), // active > total
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%s): expected error", i, c.Name)
+		}
+	}
+}
+
+func TestFP8KVHalvesBytes(t *testing.T) {
+	c := Qwen32B()
+	fp16 := c.KVBytesPerToken()
+	c.KVDType = FP8
+	if got := c.KVBytesPerToken(); got != fp16/2 {
+		t.Fatalf("FP8 KV = %g, want %g", got, fp16/2)
+	}
+}

@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kvcache"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+// Property: for random valid (SP,TP) grids, random GQA shapes, and
+// random batch sizes, the base and shift engines are cache-invariant
+// after identical prefills. This is the generalized Section 3.3.1 claim
+// ("for arbitrary (SP,TP) combinations").
+func TestQuickKVCacheInvarianceRandomGrids(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed uint64, spRaw, tpRaw, kvRaw, tokRaw uint8) bool {
+		sp := 1 << (int(spRaw) % 3) // 1, 2, 4
+		tp := 1 << (int(tpRaw) % 2) // 1, 2
+		kvHeads := []int{1, 2, 4}[int(kvRaw)%3]
+		cfg := transformer.Config{Layers: 1, Hidden: 16, QHeads: 8, KVHeads: kvHeads, FFN: 16}
+		lay := Layout{Cfg: cfg, SP: sp, TP: tp}
+		if lay.Validate() != nil {
+			return true
+		}
+		w := transformer.NewWeights(cfg, seed)
+		rng := tensor.NewRNG(seed ^ 0xfeed)
+		tokens := 1 + int(tokRaw)%11
+		batch := []transformer.Chunk{{Seq: 0, X: rng.RandMatrix(tokens, cfg.Hidden, 1)}}
+
+		base, err := NewEngine(w, lay, ModeSP, NewCaches(lay))
+		if err != nil {
+			return false
+		}
+		shift, err := NewEngine(w, lay, ModeTP, NewCaches(lay))
+		if err != nil {
+			return false
+		}
+		base.Forward(cloneBatch(batch))
+		shift.Forward(cloneBatch(batch))
+		for g := 0; g < lay.World(); g++ {
+			if !kvcache.Equal(base.Caches[g], shift.Caches[g], tol) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MHA (no GQA: KVHeads == QHeads) is the h_kv == h corner of the
+// generalized design; every path must still hold.
+func TestMHAPathAllModes(t *testing.T) {
+	cfg := transformer.Config{Layers: 2, Hidden: 16, QHeads: 8, KVHeads: 8, FFN: 16}
+	w := transformer.NewWeights(cfg, 77)
+	rng := tensor.NewRNG(78)
+	batch := randBatch(rng, cfg.Hidden, 6, 3)
+	want := transformer.NewReference(w).Forward(batch)
+
+	for _, tc := range []struct {
+		lay  Layout
+		mode Mode
+	}{
+		{Layout{Cfg: cfg, SP: 1, TP: 8}, ModeTP},
+		{Layout{Cfg: cfg, SP: 8, TP: 1}, ModeSP},
+		{Layout{Cfg: cfg, SP: 4, TP: 2}, ModeSP},
+	} {
+		eng := newEngineT(t, w, tc.lay, tc.mode, nil)
+		got := eng.Forward(cloneBatch(batch))
+		if !tensor.Equal(got, want, tol) {
+			t.Fatalf("%v/%v MHA diverged: %g", tc.lay, tc.mode, tensor.MaxAbsDiff(got, want))
+		}
+	}
+	// No replication under MHA on 8 ranks.
+	lay := Layout{Cfg: cfg, SP: 8, TP: 1}
+	if lay.ReplicationFactor() != 1 {
+		t.Fatalf("MHA replication factor = %v", lay.ReplicationFactor())
+	}
+}
+
+// Chunked prefill on the combined config: feeding a prompt in uneven
+// pieces through (SP=2, TP=2) matches the reference, and the caches end
+// identical to a one-shot prefill.
+func TestChunkedPrefillCombinedConfig(t *testing.T) {
+	cfg := cfg8()
+	w := transformer.NewWeights(cfg, 55)
+	lay := Layout{Cfg: cfg, SP: 2, TP: 2}
+	rng := tensor.NewRNG(56)
+	prompt := rng.RandMatrix(11, cfg.Hidden, 1)
+
+	oneShot := newEngineT(t, w, lay, ModeSP, nil)
+	oneShot.Forward([]transformer.Chunk{{Seq: 0, X: prompt.Clone()}})
+
+	chunked := newEngineT(t, w, lay, ModeSP, nil)
+	ref := transformer.NewReference(w)
+	for _, span := range [][2]int{{0, 4}, {4, 5}, {5, 11}} {
+		piece := tensor.SliceRows(prompt, span[0], span[1])
+		want := ref.Forward([]transformer.Chunk{{Seq: 0, X: piece}})
+		got := chunked.Forward([]transformer.Chunk{{Seq: 0, X: piece.Clone()}})
+		if !tensor.Equal(got, want, tol) {
+			t.Fatalf("chunk %v diverged: %g", span, tensor.MaxAbsDiff(got, want))
+		}
+	}
+	for g := 0; g < lay.World(); g++ {
+		if !kvcache.Equal(oneShot.Caches[g], chunked.Caches[g], tol) {
+			t.Fatalf("rank %d cache differs between one-shot and chunked prefill", g)
+		}
+	}
+}
+
+// Dropping a finished sequence from all rank caches keeps later
+// sequences intact (what a serving engine does at completion).
+func TestCacheDropMidService(t *testing.T) {
+	cfg := cfg8()
+	w := transformer.NewWeights(cfg, 60)
+	lay := Layout{Cfg: cfg, SP: 4, TP: 2}
+	eng := newEngineT(t, w, lay, ModeSP, nil)
+	ref := transformer.NewReference(w)
+	rng := tensor.NewRNG(61)
+
+	batch := randBatch(rng, cfg.Hidden, 5, 4)
+	refOut := ref.Forward(batch)
+	eng.Forward(cloneBatch(batch))
+	_ = refOut
+
+	// Sequence 0 finishes; drop it everywhere.
+	for _, c := range eng.Caches {
+		c.Drop(0)
+	}
+	ref.Cache.Drop(0)
+
+	// Sequence 1 keeps decoding correctly.
+	tok := rng.RandMatrix(1, cfg.Hidden, 1)
+	want := ref.Forward([]transformer.Chunk{{Seq: 1, X: tok}})
+	got := eng.Forward([]transformer.Chunk{{Seq: 1, X: tok.Clone()}})
+	if !tensor.Equal(got, want, tol) {
+		t.Fatalf("decode after drop diverged: %g", tensor.MaxAbsDiff(got, want))
+	}
+	for _, c := range eng.Caches {
+		if len(c.Sequences()) != 1 {
+			t.Fatal("drop did not remove the sequence")
+		}
+	}
+}

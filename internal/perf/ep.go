@@ -1,0 +1,115 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expert parallelism (EP) for MoE models — the paper's stated future
+// work ("there is no prior work that combines SP with EP to further
+// optimize sparse models, which we will leave as a future work",
+// Section 4.6). This file implements that combination in the cost
+// model: experts are sharded EP ways across the engine's GPUs, adding
+// two token-routing all-to-alls per layer (dispatch and combine) and
+// shrinking the per-rank expert weight footprint and streaming volume.
+//
+// EP composes with SP and TP: the engine's GPUs simultaneously form the
+// sequence/tensor grid of Algorithm 1 and an EP group over the same
+// world (how vLLM and DeepSpeed deploy MoE models). Because EP shards
+// only expert weights, the KV cache layout is untouched — so Shift
+// Parallelism's SP<->TP switching works identically with EP enabled,
+// which is exactly what makes the combination attractive.
+
+// EPConfig enables expert parallelism for an engine.
+type EPConfig struct {
+	// Degree is the number of expert shards (1 disables EP). Experts are
+	// sharded across the engine's world; Degree must divide it.
+	Degree int
+}
+
+// Enabled reports whether EP is active.
+func (e EPConfig) Enabled() bool { return e.Degree > 1 }
+
+// Validate checks the EP degree against a world size.
+func (e EPConfig) Validate(world int) error {
+	if e.Degree < 0 {
+		return fmt.Errorf("perf: negative EP degree %d", e.Degree)
+	}
+	if e.Degree > 1 && world%e.Degree != 0 {
+		return fmt.Errorf("perf: EP degree %d does not divide world %d", e.Degree, world)
+	}
+	return nil
+}
+
+// IterEP prices one iteration like Iter, with experts sharded ep ways.
+// For dense models or ep.Degree <= 1 it is identical to Iter.
+func (cm *CostModel) IterEP(par Parallelism, ep EPConfig, b Batch) Cost {
+	if err := ep.Validate(par.World()); err != nil {
+		panic(err)
+	}
+	if !cm.M.IsMoE() || !ep.Enabled() {
+		return cm.Iter(par, b)
+	}
+	cost := cm.Iter(par, b)
+
+	// Re-price the GEMM roofline with the EP-sharded weight volume.
+	g := cm.Node.GPU
+	tokens := b.Tokens()
+	rowsPerRank := float64(ceilDiv(tokens, par.SP))
+	flopsPerRank := (cm.prefillFlops(b) + cm.decodeFlops(b)) / float64(par.SP) / float64(par.TP)
+	eff := cm.gemmEff(rowsPerRank, par.TP)
+	computeTime := flopsPerRank / (g.FP8Flops * eff)
+	memTime := cm.epWeightReadBytes(tokens, ep.Degree) / float64(par.TP) / (g.HBMBandwidth * cm.P.MemEff)
+	cost.GEMM = secs(math.Max(computeTime, memTime))
+
+	// Dispatch + combine all-to-alls per layer across the EP group: each
+	// rank scatters its rows' hidden states to expert owners and gathers
+	// them back.
+	link := cm.Node.Link
+	msg := rowsPerRank * float64(cm.M.Hidden) * cm.P.ActBytes
+	per := 2*msg*float64(ep.Degree-1)/float64(ep.Degree)/link.LinkBandwidth + 2*float64(ep.Degree-1)*link.Latency
+	cost.AllToAll += secs(float64(cm.M.Layers) * per)
+	return cost
+}
+
+// epWeightReadBytes is weightReadBytes with the expert portion sharded
+// ep ways: the shared (attention) weights stream fully on every rank,
+// while each rank streams only its own experts' activated weights.
+func (cm *CostModel) epWeightReadBytes(tokens, ep int) float64 {
+	dt := float64(cm.M.WeightDType.Bytes())
+	shared := cm.M.SharedParams * dt
+	expertTotalPerRank := cm.M.ExpertParams() * dt / float64(ep)
+	// Tokens activate experts roughly uniformly; per rank the activated
+	// expert volume is 1/ep of the batch's total activation, capped by
+	// the rank's resident experts.
+	activatedPerRank := cm.M.ActiveExpertParams() * dt * float64(tokens) / float64(ep)
+	return shared + math.Min(expertTotalPerRank, activatedPerRank)
+}
+
+// EPWeightBytesPerGPU returns the per-GPU weight footprint with experts
+// sharded ep ways (base config; add w_shift/world for a shift model).
+func (cm *CostModel) EPWeightBytesPerGPU(par Parallelism, ep EPConfig, withShiftModel bool) float64 {
+	if !cm.M.IsMoE() || !ep.Enabled() {
+		return cm.WeightBytesPerGPU(par, withShiftModel)
+	}
+	dt := float64(cm.M.WeightDType.Bytes())
+	base := (cm.M.SharedParams*dt + cm.M.ExpertParams()*dt/float64(ep.Degree)) / float64(par.TP)
+	if withShiftModel {
+		base += cm.M.WeightBytes() / float64(par.World())
+	}
+	return base
+}
+
+// EPKVCapacityTokens is KVCapacityTokens under EP weight sharding: the
+// memory EP frees goes to the KV cache — the second benefit of the
+// SP+EP combination for MoE models like Llama-17B-16E whose weights
+// barely fit a GPU.
+func (cm *CostModel) EPKVCapacityTokens(par Parallelism, ep EPConfig, withShiftModel bool) int {
+	gpuBytes := float64(cm.Node.GPU.MemBytes) * (1 - cm.P.KVReserve)
+	free := gpuBytes - cm.EPWeightBytesPerGPU(par, ep, withShiftModel)
+	if free <= 0 {
+		return 0
+	}
+	perRankTokenBytes := cm.M.KVBytesPerToken() * cm.kvShare(par.World())
+	return int(free / perRankTokenBytes)
+}

@@ -1,0 +1,334 @@
+// Package perf is the analytic cost model of the reproduction's
+// performance level. It prices one engine iteration (a batch of prefill
+// chunks and decode tokens) under a given parallelism using a roofline
+// over the hardware specs in internal/hw:
+//
+//   - linear-layer GEMMs: compute-bound at large batch, weight-streaming
+//     (HBM) bound at small batch; efficiency falls with narrow activations
+//     and with narrow TP weight shards,
+//   - attention: compute for prefill (O(n*ctx)), KV-cache streaming for
+//     decode,
+//   - collectives: alpha-beta ring all-reduce (TP) and pairwise
+//     all-to-all (SP), matching the complexities of the paper's Table 2
+//     and the counted wire bytes of internal/comm,
+//   - a per-iteration engine overhead (the "vLLM cost" of Figure 15).
+//
+// Constants are calibrated so the 8xH200 figures of the paper's Figure 12
+// come out shape-correct (who wins, and by roughly what factor).
+package perf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// Parallelism is an intra-engine parallel configuration. Data parallelism
+// is expressed at the cluster level (several engines of World()==1 or
+// more), not here.
+type Parallelism struct {
+	SP int
+	TP int
+}
+
+// World returns SP*TP, the GPUs the engine spans.
+func (p Parallelism) World() int { return p.SP * p.TP }
+
+// Validate reports configuration errors.
+func (p Parallelism) Validate() error {
+	if p.SP <= 0 || p.TP <= 0 {
+		return fmt.Errorf("perf: non-positive parallelism %+v", p)
+	}
+	return nil
+}
+
+// String renders like the paper: "TP=8", "SP=8", "(SP=4,TP=2)".
+func (p Parallelism) String() string {
+	switch {
+	case p.SP == 1 && p.TP == 1:
+		return "1GPU"
+	case p.SP == 1:
+		return fmt.Sprintf("TP=%d", p.TP)
+	case p.TP == 1:
+		return fmt.Sprintf("SP=%d", p.SP)
+	default:
+		return fmt.Sprintf("(SP=%d,TP=%d)", p.SP, p.TP)
+	}
+}
+
+// Params are the calibration constants of the cost model.
+type Params struct {
+	// GEMMEffMax is the peak achievable fraction of tensor-core flops.
+	GEMMEffMax float64
+	// GEMMRowsHalf is the activation row count at which GEMM efficiency
+	// reaches half of max (small decode batches run far below peak).
+	GEMMRowsHalf float64
+	// TPShardPenalty is the per-extra-TP-rank efficiency loss from narrow
+	// weight shards (why SP prefill beats TP prefill in Figure 12).
+	TPShardPenalty float64
+	// AttnEff is the achieved flop fraction of prefill attention kernels.
+	AttnEff float64
+	// MemEff is the achieved fraction of HBM bandwidth for streaming
+	// weights and KV cache.
+	MemEff float64
+	// ActBytes is the wire size of activation elements (BF16 = 2).
+	ActBytes float64
+	// OverheadBase is the per-iteration engine (scheduler/launch) time of
+	// a single-GPU engine.
+	OverheadBase time.Duration
+	// OverheadPerRank adds engine time per additional GPU in the engine
+	// (python-side broadcast and sync).
+	OverheadPerRank time.Duration
+	// SlicePenalty multiplies GEMM efficiency when the shift config uses
+	// on-the-fly weight slicing (the FP8 transpose limitation of
+	// Section 3.3.2); 1 means no penalty (separate models).
+	SlicePenalty float64
+	// KVReserve is the fraction of GPU memory held back from the KV cache
+	// (activations, CUDA graphs, fragmentation).
+	KVReserve float64
+}
+
+// DefaultParams returns the calibration used throughout the reproduction.
+func DefaultParams() Params {
+	return Params{
+		GEMMEffMax:      0.50,
+		GEMMRowsHalf:    48,
+		TPShardPenalty:  0.065,
+		AttnEff:         0.35,
+		MemEff:          0.70,
+		ActBytes:        2,
+		OverheadBase:    2 * time.Millisecond,
+		OverheadPerRank: 250 * time.Microsecond,
+		SlicePenalty:    1.0,
+		KVReserve:       0.10,
+	}
+}
+
+// Batch describes the work of one engine iteration.
+type Batch struct {
+	// PrefillTokens is the number of new prompt tokens this iteration.
+	PrefillTokens int
+	// PrefillCtx is the mean context length those tokens attend to.
+	PrefillCtx float64
+	// DecodeSeqs is the number of sequences decoding one token each.
+	DecodeSeqs int
+	// DecodeCtx is the mean context length of the decoding sequences.
+	DecodeCtx float64
+}
+
+// Tokens returns the total batched tokens — Algorithm 2's shift criterion.
+func (b Batch) Tokens() int { return b.PrefillTokens + b.DecodeSeqs }
+
+// Cost is an iteration's time broken into the components of Figure 15.
+type Cost struct {
+	GEMM      time.Duration // linear layers (the "model" bar)
+	Attn      time.Duration
+	AllReduce time.Duration
+	AllToAll  time.Duration
+	Overhead  time.Duration // engine/framework cost
+}
+
+// Total returns the iteration latency.
+func (c Cost) Total() time.Duration {
+	return c.GEMM + c.Attn + c.AllReduce + c.AllToAll + c.Overhead
+}
+
+// Comm returns the collective communication time.
+func (c Cost) Comm() time.Duration { return c.AllReduce + c.AllToAll }
+
+// CostModel prices iterations of one model on one node.
+type CostModel struct {
+	Node hw.Node
+	M    model.Config
+	P    Params
+
+	// PrefillFlopsFactor scales prefill linear flops; SwiftKV's
+	// SingleInputKV roughly halves them (internal/specdec sets this).
+	PrefillFlopsFactor float64
+}
+
+// New returns a cost model with the given calibration.
+func New(node hw.Node, m model.Config, p Params) (*CostModel, error) {
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &CostModel{Node: node, M: m, P: p, PrefillFlopsFactor: 1}, nil
+}
+
+// MustNew is New, panicking on error (for presets known to be valid).
+func MustNew(node hw.Node, m model.Config, p Params) *CostModel {
+	cm, err := New(node, m, p)
+	if err != nil {
+		panic(err)
+	}
+	return cm
+}
+
+// gemmEff returns the achieved flop fraction for a linear-layer GEMM with
+// the given activation rows per rank and TP shard width.
+func (cm *CostModel) gemmEff(rowsPerRank float64, tp int) float64 {
+	rowFactor := rowsPerRank / (rowsPerRank + cm.P.GEMMRowsHalf)
+	shardFactor := 1 / (1 + cm.P.TPShardPenalty*float64(tp-1))
+	return cm.P.GEMMEffMax * rowFactor * shardFactor * cm.P.SlicePenalty
+}
+
+// Iter prices one iteration of the batch under the parallelism.
+func (cm *CostModel) Iter(par Parallelism, b Batch) Cost {
+	if err := par.Validate(); err != nil {
+		panic(err)
+	}
+	g := cm.Node.GPU
+	world := par.World()
+	tokens := b.Tokens()
+	if tokens == 0 {
+		return Cost{Overhead: cm.overhead(world)}
+	}
+
+	// Decode padding (Section 3.2.1): SP distributes rows evenly only in
+	// multiples of SP; stragglers set the pace, so every rank effectively
+	// processes ceil(tokens/SP) rows.
+	rowsPerRank := float64(ceilDiv(tokens, par.SP))
+
+	// --- Linear layers (roofline) ---
+	flopsPerRank := (cm.prefillFlops(b) + cm.decodeFlops(b)) / float64(par.SP) / float64(par.TP)
+	eff := cm.gemmEff(rowsPerRank, par.TP)
+	computeTime := flopsPerRank / (g.FP8Flops * eff)
+	// Weight streaming: each rank reads its weight shard once per
+	// iteration. MoE models read only the routed experts at small batch.
+	weightBytes := cm.weightReadBytes(tokens) / float64(par.TP)
+	memTime := weightBytes / (g.HBMBandwidth * cm.P.MemEff)
+	gemm := math.Max(computeTime, memTime)
+
+	// --- Attention (head-parallel across all world ranks) ---
+	attnFlops := 4 * float64(cm.M.Hidden) * float64(cm.M.Layers) *
+		(float64(b.PrefillTokens)*b.PrefillCtx + float64(b.DecodeSeqs)*b.DecodeCtx)
+	attnCompute := attnFlops / float64(world) / (g.FP8Flops * cm.P.AttnEff)
+	// Decode KV streaming: each decoding sequence reads its full cached
+	// context for this rank's heads (replication multiplies the share).
+	kvBytes := float64(b.DecodeSeqs) * b.DecodeCtx * cm.M.KVBytesPerToken() * cm.kvShare(world)
+	attnMem := kvBytes / (g.HBMBandwidth * cm.P.MemEff)
+	attn := math.Max(attnCompute, attnMem)
+
+	// --- Collectives (per layer: 2 all-reduces on the TP group, 2
+	// all-to-alls on the SP group; Table 2) ---
+	var allReduce, allToAll float64
+	link := cm.Node.Link
+	if par.TP > 1 {
+		msg := rowsPerRank * float64(cm.M.Hidden) * cm.P.ActBytes
+		per := 2*msg*float64(par.TP-1)/float64(par.TP)/link.LinkBandwidth + 2*float64(par.TP-1)*link.Latency
+		allReduce = 2 * float64(cm.M.Layers) * per
+	}
+	if par.SP > 1 {
+		// First all-to-all carries q + (replicated) kv heads; second
+		// carries the attention output (q-width only).
+		qkvFactor := 1 + 2*float64(cm.M.KVHeads)*cm.kvShare(world)*float64(world)/float64(cm.M.QHeads)
+		msg1 := rowsPerRank * float64(cm.M.Hidden) * cm.P.ActBytes * qkvFactor
+		msg2 := rowsPerRank * float64(cm.M.Hidden) * cm.P.ActBytes
+		per := (msg1+msg2)*float64(par.SP-1)/float64(par.SP)/link.LinkBandwidth + 2*float64(par.SP-1)*link.Latency
+		allToAll = float64(cm.M.Layers) * per
+	}
+
+	return Cost{
+		GEMM:      secs(gemm),
+		Attn:      secs(attn),
+		AllReduce: secs(allReduce),
+		AllToAll:  secs(allToAll),
+		Overhead:  cm.overhead(world),
+	}
+}
+
+func (cm *CostModel) prefillFlops(b Batch) float64 {
+	f := cm.PrefillFlopsFactor
+	if f == 0 {
+		f = 1
+	}
+	return cm.M.FlopsPerToken() * float64(b.PrefillTokens) * f
+}
+
+func (cm *CostModel) decodeFlops(b Batch) float64 {
+	return cm.M.FlopsPerToken() * float64(b.DecodeSeqs)
+}
+
+// weightReadBytes returns the weight bytes streamed from HBM in one
+// iteration: dense models stream everything; MoE models stream only the
+// experts the batch activates (approaching all weights at large batch).
+func (cm *CostModel) weightReadBytes(tokens int) float64 {
+	total := cm.M.WeightBytes()
+	if !cm.M.IsMoE() {
+		return total
+	}
+	activated := cm.M.ActiveWeightBytesPerToken() * float64(tokens)
+	return math.Min(total, activated)
+}
+
+// kvShare is the fraction of the model's per-token KV bytes one rank
+// holds: 1/world without replication, more when KV heads are replicated
+// (world > KVHeads).
+func (cm *CostModel) kvShare(world int) float64 {
+	if world <= cm.M.KVHeads {
+		return 1 / float64(world)
+	}
+	return 1 / float64(cm.M.KVHeads)
+}
+
+func (cm *CostModel) overhead(world int) time.Duration {
+	return cm.P.OverheadBase + time.Duration(world-1)*cm.P.OverheadPerRank
+}
+
+// --- Memory sizing ---
+
+// WeightBytesPerGPU returns the per-GPU weight footprint: w/TP for the
+// base configuration, plus w/(SP*TP) when a shift model is co-loaded
+// (Eq. 1 of the paper).
+func (cm *CostModel) WeightBytesPerGPU(par Parallelism, withShiftModel bool) float64 {
+	base := cm.M.WeightBytes() / float64(par.TP)
+	if withShiftModel {
+		base += cm.M.WeightBytes() / float64(par.World())
+	}
+	return base
+}
+
+// KVCapacityTokens returns how many tokens of KV cache one engine can
+// hold across its GPUs after weights and reserve. Returns 0 when the
+// weights do not fit at all.
+func (cm *CostModel) KVCapacityTokens(par Parallelism, withShiftModel bool) int {
+	gpuBytes := float64(cm.Node.GPU.MemBytes) * (1 - cm.P.KVReserve)
+	free := gpuBytes - cm.WeightBytesPerGPU(par, withShiftModel)
+	if free <= 0 {
+		return 0
+	}
+	perRankTokenBytes := cm.M.KVBytesPerToken() * cm.kvShare(par.World())
+	return int(free / perRankTokenBytes)
+}
+
+// Fits reports whether the configuration's weights fit in GPU memory with
+// non-zero KV space (the paper's L17B-16E example: SP=8 fits weights but
+// leaves no room for long contexts, forcing (SP=4, TP=2)).
+func (cm *CostModel) Fits(par Parallelism, withShiftModel bool, minKVTokens int) bool {
+	return cm.KVCapacityTokens(par, withShiftModel) >= minKVTokens
+}
+
+// --- Convenience latency points (Figure 12/13 "minimum latency") ---
+
+// MinTTFT is the time to first token of a lone request with the given
+// input length: one prefill iteration with no queueing.
+func (cm *CostModel) MinTTFT(par Parallelism, inputTokens int) time.Duration {
+	b := Batch{PrefillTokens: inputTokens, PrefillCtx: float64(inputTokens) / 2}
+	return cm.Iter(par, b).Total()
+}
+
+// MinTPOT is the decode latency of a lone request at the given context.
+func (cm *CostModel) MinTPOT(par Parallelism, ctx int) time.Duration {
+	b := Batch{DecodeSeqs: 1, DecodeCtx: float64(ctx)}
+	return cm.Iter(par, b).Total()
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// Cluster composes one or more engines. A single multi-GPU engine covers
+// TP/SP/Shift deployments; several single-GPU (or smaller) engines with a
+// router cover data parallelism.
+type Cluster struct {
+	Name    string
+	Configs []Config
+	// RecordEvents enables per-iteration event capture (time series).
+	RecordEvents bool
+	// Lockstep makes all replicas step together, each iteration taking
+	// the slowest replica's time — vLLM's data-parallel engine behaviour
+	// (replicas synchronize every step; idle ranks wait). Independent
+	// replicas (Lockstep=false) model a fleet of separate servers.
+	Lockstep bool
+}
+
+// DPCluster returns n data-parallel replicas of the config (each replica
+// keeps cfg.Par, usually a single GPU), stepping in lockstep like vLLM's
+// DP engine.
+func DPCluster(name string, cfg Config, n int) Cluster {
+	configs := make([]Config, n)
+	for i := range configs {
+		c := cfg
+		c.Name = fmt.Sprintf("%s-replica%d", name, i)
+		configs[i] = c
+	}
+	return Cluster{Name: name, Configs: configs, Lockstep: true}
+}
+
+// SingleEngine returns a cluster with one engine.
+func SingleEngine(name string, cfg Config) Cluster {
+	cfg.Name = name
+	return Cluster{Name: name, Configs: []Config{cfg}}
+}
+
+// Run replays the trace through the cluster. Requests are routed at
+// arrival time to the replica with the least outstanding assigned work
+// (tokens), then each engine simulates independently — the engines share
+// nothing, exactly like vLLM data-parallel deployments behind a balancer.
+func (c Cluster) Run(t *workload.Trace) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	engines := make([]*Engine, len(c.Configs))
+	for i, cfg := range c.Configs {
+		e, err := NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.recordEvents = c.RecordEvents
+		engines[i] = e
+	}
+
+	assigned := make([][]workload.Request, len(engines))
+	outstanding := make([]int, len(engines))
+	for _, r := range t.Requests {
+		best := 0
+		for i := 1; i < len(engines); i++ {
+			if outstanding[i] < outstanding[best] {
+				best = i
+			}
+		}
+		assigned[best] = append(assigned[best], r)
+		outstanding[best] += r.TotalTokens()
+	}
+
+	var metrics []RequestMetrics
+	if c.Lockstep && len(engines) > 1 {
+		metrics = runLockstep(engines, assigned)
+	} else {
+		for i, e := range engines {
+			metrics = append(metrics, e.Run(assigned[i])...)
+		}
+	}
+	return buildResult(c.Name, metrics, engines), nil
+}
+
+// runLockstep steps all engines on a shared clock: each global iteration
+// lasts as long as the slowest replica's step (vLLM DP semantics).
+func runLockstep(engines []*Engine, assigned [][]workload.Request) []RequestMetrics {
+	now := time.Duration(0)
+	for i, e := range engines {
+		e.arrivals = assigned[i]
+	}
+	for {
+		allDone := true
+		for _, e := range engines {
+			if !e.finished() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+
+		type staged struct {
+			e    *Engine
+			plan batchPlan
+			cost perf.Cost
+		}
+		var work []staged
+		var maxDur time.Duration
+		for _, e := range engines {
+			if e.finished() {
+				continue
+			}
+			e.now = now
+			e.admit()
+			plan := e.schedule()
+			if plan.empty() {
+				// Try to resolve memory-stuck states before giving up on
+				// this replica for the step.
+				for e.resolveEmpty() {
+					plan = e.schedule()
+					if !plan.empty() {
+						break
+					}
+				}
+			}
+			if plan.empty() {
+				continue
+			}
+			cost := e.price(&plan)
+			if d := cost.Total(); d > maxDur {
+				maxDur = d
+			}
+			work = append(work, staged{e, plan, cost})
+		}
+
+		if len(work) == 0 {
+			// Whole cluster idle: jump to the earliest next arrival.
+			next := time.Duration(-1)
+			for _, e := range engines {
+				if a := e.nextArrival(); a >= 0 && (next < 0 || a < next) {
+					next = a
+				}
+			}
+			if next < 0 {
+				break // nothing left anywhere
+			}
+			now = next
+			continue
+		}
+
+		now += maxDur
+		for _, w := range work {
+			w.e.apply(w.plan, w.cost, now)
+		}
+	}
+	var metrics []RequestMetrics
+	for i, e := range engines {
+		metrics = append(metrics, e.metrics(assigned[i])...)
+	}
+	return metrics
+}
+
+// MinLatency measures the lone-request latency of the cluster's first
+// engine: TTFT and TPOT with no queueing (Section 4.3.1's sequential
+// processing).
+func (c Cluster) MinLatency(inTok, outTok int) (ttft, tpot time.Duration, err error) {
+	res, err := SingleEngine(c.Name+"-single", c.Configs[0]).Run(workload.Single(inTok, outTok))
+	if err != nil {
+		return 0, 0, err
+	}
+	if res.TTFT.N() == 0 {
+		return 0, 0, fmt.Errorf("serve: single request was rejected")
+	}
+	ttft = time.Duration(res.TTFT.Mean() * float64(time.Millisecond))
+	tpot = time.Duration(res.TPOT.Mean() * float64(time.Millisecond))
+	return ttft, tpot, nil
+}
+
+// PeakThroughput saturates the cluster with a closed batch of identical
+// requests and returns combined tokens/second (Section 4.3.1's
+// peak-throughput methodology).
+func (c Cluster) PeakThroughput(nRequests, inTok, outTok int) (float64, error) {
+	res, err := c.Run(workload.Closed("closed", nRequests, inTok, outTok))
+	if err != nil {
+		return 0, err
+	}
+	if res.Rejected == len(res.PerRequest) {
+		return 0, fmt.Errorf("serve: all requests rejected")
+	}
+	return res.Throughput(), nil
+}
+
+// StandardClusters builds the four deployments the paper compares on one
+// node: DP (per-GPU replicas), TP (one engine, full TP), SP (one engine,
+// full or combined SP), and Shift Parallelism over the SP base config.
+func StandardClusters(cm *perf.CostModel, basePar perf.Parallelism, numGPUs int) (map[string]Cluster, error) {
+	if basePar.World() != numGPUs {
+		return nil, fmt.Errorf("serve: base parallelism %s does not span %d GPUs", basePar, numGPUs)
+	}
+	// DP replicas must each fit the model on one GPU; callers handle the
+	// (rare) case where they cannot.
+	dpCfg := Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+	tpCfg := Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: numGPUs}}
+	spCfg := Config{CM: cm, Par: basePar}
+	shiftCfg := Config{CM: cm, Par: basePar, Strategy: StrategyShift}
+	return map[string]Cluster{
+		"DP":    DPCluster("DP", dpCfg, numGPUs),
+		"TP":    SingleEngine("TP", tpCfg),
+		"SP":    SingleEngine("SP", spCfg),
+		"Shift": SingleEngine("Shift", shiftCfg),
+	}, nil
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/specdec"
+	"repro/internal/workload"
+)
+
+// Shift + speculative decoding compose: spec decode multiplies token
+// yield while Algorithm 2 still routes small verify batches to the TP
+// shift config.
+func TestShiftWithSpecDecode(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := shiftCfg(cm)
+	cfg.Stack = specdec.Stack{Spec: specdec.Spec{Len: 3, Acceptance: 0.7}}
+	e := mustEngine(t, cfg)
+	e.recordEvents = true
+	ms := e.Run(workload.Single(4096, 200).Requests)
+	if ms[0].Rejected {
+		t.Fatal("rejected")
+	}
+	if e.shiftIters == 0 {
+		t.Fatal("decode-with-spec batches should still shift to TP")
+	}
+	// Decode iterations process 4 verify tokens per seq but yield ~2.8
+	// output tokens per step: far fewer iterations than 200.
+	if e.iters > 110 {
+		t.Fatalf("iters = %d, spec decode should cut decode steps ~2.8x", e.iters)
+	}
+}
+
+// A one-output-token request: TTFT == completion, TPOT zero.
+func TestSingleOutputToken(t *testing.T) {
+	e := mustEngine(t, tp8Cfg(llamaCM(t)))
+	ms := e.Run([]workload.Request{{ID: 0, InputTokens: 1000, OutputTokens: 1}})
+	m := ms[0]
+	if m.Rejected || m.TTFT <= 0 {
+		t.Fatalf("bad metrics %+v", m)
+	}
+	if m.Completion != m.TTFT {
+		t.Fatalf("1-token completion %v != TTFT %v", m.Completion, m.TTFT)
+	}
+	if m.TPOT != 0 {
+		t.Fatalf("1-token TPOT = %v", m.TPOT)
+	}
+}
+
+// A one-input-token request (minimal prefill).
+func TestSingleInputToken(t *testing.T) {
+	e := mustEngine(t, tp8Cfg(llamaCM(t)))
+	ms := e.Run([]workload.Request{{ID: 0, InputTokens: 1, OutputTokens: 50}})
+	if ms[0].Rejected || ms[0].Completion <= 0 {
+		t.Fatalf("bad metrics %+v", ms[0])
+	}
+}
+
+// MaxSeqs=1 serializes requests completely.
+func TestMaxSeqsOne(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := tp8Cfg(cm)
+	cfg.MaxSeqs = 1
+	e := mustEngine(t, cfg)
+	ms := e.Run(workload.Closed("c", 4, 1000, 20).Requests)
+	for i := 1; i < len(ms); i++ {
+		// Each request starts only after the previous finished: first
+		// tokens are strictly ordered and spaced by full completions.
+		if ms[i].TTFT <= ms[i-1].Completion {
+			t.Fatalf("request %d overlapped its predecessor under MaxSeqs=1", i)
+		}
+	}
+}
+
+// Tiny KV block size stresses the allocator arithmetic.
+func TestBlockTokensOne(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := tp8Cfg(cm)
+	cfg.BlockTokens = 1
+	e := mustEngine(t, cfg)
+	ms := e.Run(workload.Closed("c", 3, 500, 30).Requests)
+	for _, m := range ms {
+		if m.Rejected {
+			t.Fatal("rejected")
+		}
+	}
+	if err := e.alloc.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lockstep cluster with one replica finishing long before the other:
+// the finished replica must not stall the cluster or corrupt metrics.
+func TestLockstepUnevenFinish(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+	cl := DPCluster("dp", cfg, 2)
+	reqs := []workload.Request{
+		{ID: 0, Arrival: 0, InputTokens: 500, OutputTokens: 5},           // replica A, quick
+		{ID: 1, Arrival: 0, InputTokens: 8000, OutputTokens: 400},        // replica B, long
+		{ID: 2, Arrival: time.Minute, InputTokens: 500, OutputTokens: 5}, // arrives later
+	}
+	res, err := cl.Run(&workload.Trace{Name: "uneven", Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 || res.TTFT.N() != 3 {
+		t.Fatalf("result %+v", res.Summary())
+	}
+	for _, m := range res.PerRequest {
+		if m.TTFT <= 0 || m.Completion < m.TTFT {
+			t.Fatalf("pathological metrics: %+v", m)
+		}
+	}
+}
+
+// Lockstep cluster that goes fully idle between arrivals jumps the
+// shared clock instead of spinning.
+func TestLockstepIdleGap(t *testing.T) {
+	cm := llamaCM(t)
+	cl := DPCluster("dp", Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}, 2)
+	reqs := []workload.Request{
+		{ID: 0, Arrival: 0, InputTokens: 500, OutputTokens: 5},
+		{ID: 1, Arrival: 10 * time.Minute, InputTokens: 500, OutputTokens: 5},
+	}
+	res, err := cl.Run(&workload.Trace{Name: "gap", Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second request's TTFT is measured from ITS arrival: small.
+	for _, m := range res.PerRequest {
+		if m.TTFT > 5*time.Second {
+			t.Fatalf("idle gap leaked into TTFT: %v", m.TTFT)
+		}
+	}
+}
+
+// The Shift engine sized with its extra weight copy has less KV than
+// plain SP — Eq. 1 made operational.
+func TestShiftKVSmallerThanSP(t *testing.T) {
+	cm := llamaCM(t)
+	sp := mustEngine(t, Config{CM: cm, Par: perf.Parallelism{SP: 8, TP: 1}})
+	shift := mustEngine(t, shiftCfg(cm))
+	if shift.KVCapacityTokens() >= sp.KVCapacityTokens() {
+		t.Fatalf("shift KV %d should be below SP %d (shift model overhead)",
+			shift.KVCapacityTokens(), sp.KVCapacityTokens())
+	}
+}
+
+// Arrival bursts larger than MaxSeqs queue FIFO without loss.
+func TestBurstBeyondMaxSeqs(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := tp8Cfg(cm)
+	cfg.MaxSeqs = 8
+	e := mustEngine(t, cfg)
+	ms := e.Run(workload.Closed("burst", 40, 800, 10).Requests)
+	if len(ms) != 40 {
+		t.Fatalf("served %d/40", len(ms))
+	}
+	for _, m := range ms {
+		if m.Rejected {
+			t.Fatal("rejected under MaxSeqs pressure")
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// Package serve is the discrete-event serving simulator: a vLLM-style
+// engine with continuous batching, chunked prefill, a paged KV cache with
+// admission control and preemption-by-recompute, and per-iteration
+// parallelism selection (TP, SP, combined, or Shift's threshold switch).
+// Iteration latencies come from the internal/perf cost model; requests
+// come from internal/workload traces. A Cluster composes several engines
+// for data parallelism with a load-balancing router.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kvcache"
+	"repro/internal/perf"
+	"repro/internal/specdec"
+	"repro/internal/workload"
+)
+
+// Strategy selects how an engine chooses its per-iteration parallelism.
+type Strategy int
+
+const (
+	// StrategyStatic always runs the configured base parallelism.
+	StrategyStatic Strategy = iota
+	// StrategyShift switches between the base (SP,TP) config and the
+	// full-TP shift config on the batched-token threshold (Algorithm 2).
+	StrategyShift
+)
+
+// Config describes one engine.
+type Config struct {
+	Name string
+	// CM prices iterations (model + node + calibration).
+	CM *perf.CostModel
+	// Par is the base parallel configuration of this engine.
+	Par perf.Parallelism
+	// Strategy selects static parallelism or Shift switching.
+	Strategy Strategy
+	// ShiftThreshold is Algorithm 2's batched-token threshold (only used
+	// by StrategyShift; 0 means DefaultShiftThreshold).
+	ShiftThreshold int
+	// ChunkBudget caps new prefill tokens per iteration (chunked prefill,
+	// vLLM's max_num_batched_tokens). 0 means DefaultChunkBudget.
+	ChunkBudget int
+	// MaxSeqs caps concurrently running sequences (vLLM's max_num_seqs).
+	// 0 means DefaultMaxSeqs.
+	MaxSeqs int
+	// BlockTokens is the KV block size. 0 means DefaultBlockTokens.
+	BlockTokens int
+	// Stack optionally composes SwiftKV and speculative decoding.
+	Stack specdec.Stack
+	// EP enables expert parallelism for MoE models (the paper's future
+	// work, implemented as an extension; see internal/perf/ep.go). The
+	// expert shards live on the same GPUs as the SP/TP grid.
+	EP perf.EPConfig
+	// PrefixCacheHitRate is the fraction of each prompt served from a
+	// prefix cache (vLLM automatic prefix caching): those tokens skip
+	// prefill compute but still occupy KV blocks. 0 disables.
+	PrefixCacheHitRate float64
+}
+
+// Defaults mirroring vLLM's.
+const (
+	DefaultShiftThreshold = 256
+	DefaultChunkBudget    = 8192
+	DefaultMaxSeqs        = 256
+	DefaultBlockTokens    = 16
+)
+
+func (c Config) withDefaults() Config {
+	if c.ShiftThreshold == 0 {
+		c.ShiftThreshold = DefaultShiftThreshold
+	}
+	if c.ChunkBudget == 0 {
+		c.ChunkBudget = DefaultChunkBudget
+	}
+	if c.MaxSeqs == 0 {
+		c.MaxSeqs = DefaultMaxSeqs
+	}
+	if c.BlockTokens == 0 {
+		c.BlockTokens = DefaultBlockTokens
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.CM == nil {
+		return fmt.Errorf("serve: engine %q has no cost model", c.Name)
+	}
+	if err := c.Par.Validate(); err != nil {
+		return err
+	}
+	if err := c.EP.Validate(c.Par.World()); err != nil {
+		return err
+	}
+	if c.PrefixCacheHitRate < 0 || c.PrefixCacheHitRate >= 1 {
+		return fmt.Errorf("serve: prefix cache hit rate %v outside [0, 1)", c.PrefixCacheHitRate)
+	}
+	return c.Stack.Validate()
+}
+
+// seq is a request in flight.
+type seq struct {
+	req workload.Request
+	// effInput is the prompt length to (re)compute: input plus any
+	// decoded tokens discarded by preemption-by-recompute.
+	effInput int
+	// cached is the prefix served from the prefix cache: it occupies KV
+	// blocks but skips prefill compute.
+	cached    int
+	prefilled int
+	decoded   float64 // fractional under speculative decoding
+	enqueued  time.Duration
+	firstTok  time.Duration // -1 until produced
+	finished  time.Duration
+	preempted int
+}
+
+func (s *seq) ctx() int { return s.prefilled + int(s.decoded) }
+
+func (s *seq) prefillDone() bool { return s.prefilled >= s.effInput }
+
+func (s *seq) done() bool {
+	return s.prefillDone() && int(s.decoded) >= s.req.OutputTokens
+}
+
+// Engine simulates one inference engine over its share of a trace.
+type Engine struct {
+	cfg       Config
+	alloc     *kvcache.Allocator
+	arrivals  []workload.Request
+	nextIdx   int
+	waiting   []*seq
+	running   []*seq
+	now       time.Duration
+	completed []*seq
+
+	// Accounting.
+	iters        int
+	shiftIters   int // iterations on the shift (full TP) config
+	baseIters    int // iterations on the base config
+	preemptions  int
+	rejected     []*seq
+	cost         perf.Cost // accumulated component times
+	tokensServed int
+	events       []IterEvent
+	recordEvents bool
+}
+
+// IterEvent records one engine iteration for time-series plots (Fig 7).
+type IterEvent struct {
+	At       time.Duration // iteration end time
+	Duration time.Duration
+	Tokens   int
+	Par      perf.Parallelism
+}
+
+// NewEngine builds an engine; the KV allocator is sized from the cost
+// model's memory accounting (weights, shift-model overhead, reserve).
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Clone the cost model so SwiftKV's prefill factor stays local.
+	cm := *cfg.CM
+	cm.PrefillFlopsFactor = cfg.Stack.PrefillFactor()
+	cfg.CM = &cm
+
+	withShift := cfg.Strategy == StrategyShift && cfg.Par.World() > 1 && cfg.Par.SP > 1
+	capTokens := cfg.CM.EPKVCapacityTokens(cfg.Par, cfg.EP, withShift)
+	if capTokens <= 0 {
+		return nil, fmt.Errorf("serve: engine %q: model does not fit (%s, shift=%v)", cfg.Name, cfg.Par, withShift)
+	}
+	return &Engine{
+		cfg:   cfg,
+		alloc: kvcache.NewAllocator(cfg.BlockTokens, capTokens/cfg.BlockTokens),
+	}, nil
+}
+
+// KVCapacityTokens exposes the engine's KV budget (for tests and docs).
+func (e *Engine) KVCapacityTokens() int { return e.alloc.NumBlocks * e.alloc.BlockTokens }
+
+// Run simulates the engine over the trace portion assigned to it and
+// returns per-request metrics. Requests must be time-ordered.
+func (e *Engine) Run(reqs []workload.Request) []RequestMetrics {
+	e.arrivals = reqs
+	for !e.finished() {
+		e.admit()
+		plan := e.schedule()
+		if plan.empty() {
+			if !e.resolveEmpty() && e.nextArrival() >= 0 {
+				// Idle: jump to the next arrival.
+				e.now = e.arrivals[e.nextIdx].Arrival
+			}
+			continue
+		}
+		cost := e.price(&plan)
+		e.apply(plan, cost, e.now+cost.Total())
+	}
+	return e.metrics(reqs)
+}
+
+// finished reports whether the engine has drained all work.
+func (e *Engine) finished() bool {
+	return e.nextIdx >= len(e.arrivals) && len(e.waiting) == 0 && len(e.running) == 0
+}
+
+// admit moves arrivals up to the current time into the waiting queue.
+func (e *Engine) admit() {
+	for e.nextIdx < len(e.arrivals) && e.arrivals[e.nextIdx].Arrival <= e.now {
+		r := e.arrivals[e.nextIdx]
+		cached := int(e.cfg.PrefixCacheHitRate * float64(r.InputTokens))
+		if cached > r.InputTokens-1 {
+			// At least the prompt's last token always runs (vLLM APC).
+			cached = r.InputTokens - 1
+		}
+		e.waiting = append(e.waiting, &seq{
+			req: r, effInput: r.InputTokens, cached: cached, prefilled: cached,
+			enqueued: r.Arrival, firstTok: -1,
+		})
+		e.nextIdx++
+	}
+}
+
+// nextArrival returns the next arrival time, or -1 when exhausted.
+func (e *Engine) nextArrival() time.Duration {
+	if e.nextIdx >= len(e.arrivals) {
+		return -1
+	}
+	return e.arrivals[e.nextIdx].Arrival
+}
+
+// resolveEmpty handles an empty schedule: preempt or reject when the
+// engine is memory-stuck, reject unadmittable waiters when no arrivals
+// remain. Returns true if it changed state (caller should re-schedule).
+func (e *Engine) resolveEmpty() bool {
+	if len(e.running) > 1 {
+		// Memory-stuck: every runner blocked on KV growth. Preempt the
+		// youngest to unblock the others.
+		e.preemptAt(len(e.running) - 1)
+		return true
+	}
+	if len(e.running) == 1 {
+		// A lone runner that cannot grow needs more KV than the engine
+		// has: reject it.
+		s := e.running[0]
+		e.alloc.Release(s.req.ID)
+		e.running = nil
+		e.rejected = append(e.rejected, s)
+		return true
+	}
+	if e.nextArrival() < 0 && len(e.waiting) > 0 {
+		// Nothing runnable and nothing arriving: remaining waiters can
+		// never be admitted (prompt larger than the whole cache).
+		e.rejected = append(e.rejected, e.waiting...)
+		e.waiting = nil
+		return true
+	}
+	return false
+}
+
+// batchPlan is one scheduled iteration.
+type batchPlan struct {
+	prefills   []*seq
+	chunks     []int // new prompt tokens per prefill seq
+	decodes    []*seq
+	specTokens int // verify tokens per decode seq (1 without spec decode)
+	par        perf.Parallelism
+}
+
+func (b batchPlan) empty() bool { return len(b.prefills) == 0 && len(b.decodes) == 0 }
+
+func (b batchPlan) tokens() int {
+	n := 0
+	for _, c := range b.chunks {
+		n += c
+	}
+	return n + len(b.decodes)*b.specTokens
+}
+
+// schedule builds the next iteration following vLLM's chunked-prefill
+// policy: decodes first (one token per running sequence), then prefill
+// chunks up to the token budget, admitting waiting requests while KV
+// blocks remain.
+func (e *Engine) schedule() batchPlan {
+	plan := batchPlan{specTokens: e.cfg.Stack.Spec.VerifyTokensPerSeq()}
+
+	// 1. Decode slots for running sequences that finished prefill; grow
+	// their KV allocation under pressure by preempting victims from the
+	// unprocessed tail of the running queue (vLLM's recompute policy).
+	for i := 0; i < len(e.running); {
+		s := e.running[i]
+		if !s.prefillDone() {
+			i++
+			continue
+		}
+		need := s.ctx() + plan.specTokens
+		for !e.alloc.CanEnsure(s.req.ID, need) && len(e.running)-1 > i {
+			e.preemptAt(len(e.running) - 1)
+		}
+		if !e.alloc.CanEnsure(s.req.ID, need) {
+			// s itself is the only candidate left: preempt it. The slot
+			// at i now holds the next sequence (or nothing).
+			e.preemptAt(i)
+			continue
+		}
+		if err := e.alloc.Ensure(s.req.ID, need); err != nil {
+			e.preemptAt(i)
+			continue
+		}
+		plan.decodes = append(plan.decodes, s)
+		i++
+	}
+
+	budget := e.cfg.ChunkBudget - len(plan.decodes)*plan.specTokens
+	// Free-block watermark: base headroom plus decode-growth demand of
+	// the current runners, so incremental prefill admission does not
+	// trigger preemption storms when decodes need to grow.
+	watermark := e.alloc.NumBlocks/100 + 2*len(e.running)
+
+	// 2. Prefill chunks for running sequences still in prefill,
+	// allocating blocks incrementally (vLLM chunked prefill).
+	for _, s := range e.running {
+		if s.prefillDone() || budget <= 0 {
+			continue
+		}
+		chunk := min(s.effInput-s.prefilled, budget)
+		if !e.alloc.CanEnsure(s.req.ID, s.prefilled+chunk) {
+			slack := e.alloc.Holds(s.req.ID)*e.alloc.BlockTokens - s.prefilled
+			chunk = min(chunk, slack+e.alloc.FreeTokens())
+			if chunk <= 0 {
+				continue // KV pressure: wait for blocks
+			}
+		}
+		if err := e.alloc.Ensure(s.req.ID, s.prefilled+chunk); err != nil {
+			continue
+		}
+		plan.prefills = append(plan.prefills, s)
+		plan.chunks = append(plan.chunks, chunk)
+		budget -= chunk
+	}
+
+	// 3. Admit waiting requests while budget and KV blocks (above the
+	// watermark) remain; prompts larger than the whole cache are rejected.
+	for len(e.waiting) > 0 && budget > 0 && len(e.running) < e.cfg.MaxSeqs {
+		s := e.waiting[0]
+		if e.alloc.BlocksFor(s.effInput) > e.alloc.NumBlocks {
+			e.rejected = append(e.rejected, s)
+			e.waiting = e.waiting[1:]
+			continue
+		}
+		chunk := min(s.effInput-s.prefilled, budget)
+		// Blocks must cover any prefix-cache hit plus this chunk.
+		need := e.alloc.BlocksFor(s.prefilled+chunk) - e.alloc.Holds(s.req.ID)
+		if e.alloc.FreeBlocks()-need < watermark {
+			break // wait for blocks to free up
+		}
+		if err := e.alloc.Ensure(s.req.ID, s.prefilled+chunk); err != nil {
+			break
+		}
+		e.waiting = e.waiting[1:]
+		e.running = append(e.running, s)
+		plan.prefills = append(plan.prefills, s)
+		plan.chunks = append(plan.chunks, chunk)
+		budget -= chunk
+	}
+	return plan
+}
+
+// preemptAt applies vLLM's recompute preemption to running[i]: the
+// sequence loses its KV blocks and will re-prefill its prompt plus
+// already-generated tokens, from the head of the waiting queue.
+func (e *Engine) preemptAt(i int) {
+	s := e.running[i]
+	e.alloc.Release(s.req.ID)
+	s.effInput = s.req.InputTokens + int(s.decoded)
+	// Recompute restarts after the (still resident) cached prefix.
+	s.prefilled = s.cached
+	s.preempted++
+	e.preemptions++
+	e.running = append(e.running[:i], e.running[i+1:]...)
+	e.waiting = append([]*seq{s}, e.waiting...)
+}
+
+// shape converts a plan to the cost model's batch description.
+func (plan batchPlan) shape() perf.Batch {
+	shape := perf.Batch{}
+	for i, s := range plan.prefills {
+		c := plan.chunks[i]
+		shape.PrefillTokens += c
+		shape.PrefillCtx += float64(s.prefilled) + float64(c)/2
+	}
+	if len(plan.prefills) > 0 {
+		shape.PrefillCtx /= float64(len(plan.prefills))
+	}
+	shape.DecodeSeqs = len(plan.decodes) * plan.specTokens
+	for _, s := range plan.decodes {
+		shape.DecodeCtx += float64(s.ctx())
+	}
+	if len(plan.decodes) > 0 {
+		shape.DecodeCtx /= float64(len(plan.decodes))
+	}
+	return shape
+}
+
+// price selects the parallelism (Algorithm 2), records it on the plan,
+// and prices the iteration.
+func (e *Engine) price(plan *batchPlan) perf.Cost {
+	shape := plan.shape()
+	plan.par = e.parFor(shape)
+	return e.cfg.CM.IterEP(plan.par, e.cfg.EP, shape)
+}
+
+// apply executes one priced iteration ending at end: advances the clock,
+// applies token production, and retires finished sequences. In lockstep
+// clusters end may exceed now+cost (waiting for slower replicas).
+func (e *Engine) apply(plan batchPlan, cost perf.Cost, end time.Duration) {
+	if plan.par == e.cfg.Par {
+		e.baseIters++
+	} else {
+		e.shiftIters++
+	}
+	e.now = end
+	e.iters++
+	e.cost.GEMM += cost.GEMM
+	e.cost.Attn += cost.Attn
+	e.cost.AllReduce += cost.AllReduce
+	e.cost.AllToAll += cost.AllToAll
+	e.cost.Overhead += cost.Overhead
+
+	produced := 0
+	for i, s := range plan.prefills {
+		s.prefilled += plan.chunks[i]
+		produced += plan.chunks[i]
+		if s.prefillDone() {
+			// The prefill iteration emits the first output token.
+			s.decoded++
+			produced++
+			if s.firstTok < 0 {
+				s.firstTok = e.now
+			}
+		}
+	}
+	yield := e.cfg.Stack.Spec.TokensPerStep()
+	for _, s := range plan.decodes {
+		before := int(s.decoded)
+		s.decoded += yield
+		if int(s.decoded) > s.req.OutputTokens {
+			s.decoded = float64(s.req.OutputTokens)
+		}
+		produced += int(s.decoded) - before
+	}
+	e.tokensServed += produced
+
+	// Retire finished sequences.
+	kept := e.running[:0]
+	for _, s := range e.running {
+		if s.done() {
+			s.finished = e.now
+			e.alloc.Release(s.req.ID)
+			e.completed = append(e.completed, s)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	e.running = kept
+
+	if e.recordEvents {
+		// Tokens counts input tokens processed plus output tokens emitted
+		// this iteration, so a series over events sums to the trace's
+		// combined token total.
+		e.events = append(e.events, IterEvent{At: e.now, Duration: cost.Total(), Tokens: produced, Par: plan.par})
+	}
+}
+
+// parFor implements Algorithm 2 at the engine level.
+func (e *Engine) parFor(shape perf.Batch) perf.Parallelism {
+	if e.cfg.Strategy != StrategyShift || shape.Tokens() > e.cfg.ShiftThreshold {
+		return e.cfg.Par
+	}
+	return perf.Parallelism{SP: 1, TP: e.cfg.Par.World()}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RequestMetrics is the per-request outcome of a simulation, in the
+// paper's units: TTFT, TPOT, and completion time.
+type RequestMetrics struct {
+	ID           int
+	Class        string
+	Arrival      time.Duration
+	InputTokens  int
+	OutputTokens int
+	// TTFT is arrival to first output token.
+	TTFT time.Duration
+	// TPOT is the mean time between subsequent output tokens.
+	TPOT time.Duration
+	// Completion is arrival to final token.
+	Completion time.Duration
+	// Preemptions counts recompute evictions suffered.
+	Preemptions int
+	// Rejected marks requests the engine could never serve.
+	Rejected bool
+}
+
+// metrics converts completed/rejected sequences into RequestMetrics.
+func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
+	out := make([]RequestMetrics, 0, len(reqs))
+	for _, s := range e.completed {
+		m := RequestMetrics{
+			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.Arrival,
+			InputTokens: s.req.InputTokens, OutputTokens: s.req.OutputTokens,
+			TTFT:        s.firstTok - s.req.Arrival,
+			Completion:  s.finished - s.req.Arrival,
+			Preemptions: s.preempted,
+		}
+		if s.req.OutputTokens > 1 {
+			m.TPOT = (s.finished - s.firstTok) / time.Duration(s.req.OutputTokens-1)
+		}
+		out = append(out, m)
+	}
+	for _, s := range e.rejected {
+		out = append(out, RequestMetrics{
+			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.Arrival,
+			InputTokens: s.req.InputTokens, OutputTokens: s.req.OutputTokens,
+			Rejected: true,
+		})
+	}
+	return out
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Name       string
+	PerRequest []RequestMetrics
+
+	TTFT       stats.Sample // milliseconds
+	TPOT       stats.Sample // milliseconds
+	Completion stats.Sample // milliseconds
+
+	TotalTokens int
+	Makespan    time.Duration
+	Rejected    int
+	Preemptions int
+
+	// Iteration accounting (summed across engines).
+	Iters      int
+	BaseIters  int
+	ShiftIters int
+	Cost       perf.Cost
+
+	// Events, when recorded, allow time-series plots (Figure 7).
+	Events []IterEvent
+}
+
+// Throughput returns combined tokens/second over the makespan.
+func (r *Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.TotalTokens) / r.Makespan.Seconds()
+}
+
+// ThroughputSeries buckets served tokens over time (Figure 7 bottom).
+func (r *Result) ThroughputSeries(width time.Duration) *stats.Series {
+	s := stats.NewSeries(width)
+	for _, ev := range r.Events {
+		s.Observe(ev.At, float64(ev.Tokens))
+	}
+	return s
+}
+
+// Summary renders the Table 5 style row.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s: p50 TTFT %.0f ms, p50 TPOT %.1f ms, throughput %.0f tok/s, rejected %d",
+		r.Name, r.TTFT.Median(), r.TPOT.Median(), r.Throughput(), r.Rejected)
+}
+
+func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Result {
+	r := &Result{Name: name, PerRequest: metrics}
+	for _, m := range metrics {
+		if m.Rejected {
+			r.Rejected++
+			continue
+		}
+		r.TTFT.AddDuration(m.TTFT)
+		if m.TPOT > 0 {
+			r.TPOT.AddDuration(m.TPOT)
+		}
+		r.Completion.AddDuration(m.Completion)
+		r.TotalTokens += m.InputTokens + m.OutputTokens
+		if end := m.Arrival + m.Completion; end > r.Makespan {
+			r.Makespan = end
+		}
+		r.Preemptions += m.Preemptions
+	}
+	for _, e := range engines {
+		r.Iters += e.iters
+		r.BaseIters += e.baseIters
+		r.ShiftIters += e.shiftIters
+		r.Cost.GEMM += e.cost.GEMM
+		r.Cost.Attn += e.cost.Attn
+		r.Cost.AllReduce += e.cost.AllReduce
+		r.Cost.AllToAll += e.cost.AllToAll
+		r.Cost.Overhead += e.cost.Overhead
+		r.Events = append(r.Events, e.events...)
+	}
+	return r
+}

@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/specdec"
+	"repro/internal/workload"
+)
+
+func llamaCM(t *testing.T) *perf.CostModel {
+	t.Helper()
+	return perf.MustNew(hw.P5enNode(), model.Llama70B(), perf.DefaultParams())
+}
+
+func tp8Cfg(cm *perf.CostModel) Config {
+	return Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 8}}
+}
+
+func shiftCfg(cm *perf.CostModel) Config {
+	return Config{CM: cm, Par: perf.Parallelism{SP: 8, TP: 1}, Strategy: StrategyShift}
+}
+
+func mustEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ChunkBudget != DefaultChunkBudget || c.MaxSeqs != DefaultMaxSeqs ||
+		c.BlockTokens != DefaultBlockTokens || c.ShiftThreshold != DefaultShiftThreshold {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestNewEngineRejectsOversizeModel(t *testing.T) {
+	big := model.Llama70B()
+	big.TotalParams = 200e9
+	big.ActiveParams = 200e9
+	cm := perf.MustNew(hw.P5enNode(), big, perf.DefaultParams())
+	if _, err := NewEngine(Config{CM: cm, Par: perf.Parallelism{SP: 8, TP: 1}}); err == nil {
+		t.Fatal("expected does-not-fit error")
+	}
+}
+
+func TestSingleRequestLifecycle(t *testing.T) {
+	e := mustEngine(t, tp8Cfg(llamaCM(t)))
+	ms := e.Run(workload.Single(4096, 100).Requests)
+	if len(ms) != 1 {
+		t.Fatalf("metrics = %d", len(ms))
+	}
+	m := ms[0]
+	if m.Rejected {
+		t.Fatal("request rejected")
+	}
+	if m.TTFT <= 0 {
+		t.Fatal("TTFT not positive")
+	}
+	if m.Completion < m.TTFT {
+		t.Fatal("completion before first token")
+	}
+	if m.TPOT <= 0 {
+		t.Fatal("TPOT not positive")
+	}
+	// Completion == TTFT + (out-1)*TPOT by construction.
+	want := m.TTFT + time.Duration(99)*m.TPOT
+	diff := m.Completion - want
+	if diff < -time.Duration(99) || diff > time.Duration(99) { // rounding of integer division
+		t.Fatalf("completion %v != ttft + 99*tpot %v", m.Completion, want)
+	}
+}
+
+func TestAllTokensServedOnce(t *testing.T) {
+	e := mustEngine(t, tp8Cfg(llamaCM(t)))
+	tr := workload.Closed("c", 20, 1000, 50)
+	e.Run(tr.Requests)
+	if e.tokensServed != tr.TotalTokens() {
+		t.Fatalf("served %d tokens, trace has %d", e.tokensServed, tr.TotalTokens())
+	}
+	if err := e.alloc.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if e.alloc.UsedBlocks() != 0 {
+		t.Fatalf("leaked %d blocks", e.alloc.UsedBlocks())
+	}
+}
+
+func TestChunkedPrefillSplitsLongPrompt(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := tp8Cfg(cm)
+	cfg.ChunkBudget = 2048
+	e := mustEngine(t, cfg)
+	e.recordEvents = true
+	e.Run(workload.Single(10000, 10).Requests)
+	// 10000-token prompt at 2048/iter: 5 prefill iterations.
+	prefillIters := 0
+	for _, ev := range e.events {
+		if ev.Tokens > 1 {
+			prefillIters++
+		}
+	}
+	if prefillIters != 5 {
+		t.Fatalf("prefill iterations = %d, want 5", prefillIters)
+	}
+}
+
+func TestRejectImpossiblePrompt(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := shiftCfg(cm) // SP=8 replicated weights: ~1.3M tokens KV
+	e := mustEngine(t, cfg)
+	cap := e.KVCapacityTokens()
+	ms := e.Run([]workload.Request{{ID: 0, InputTokens: cap + 1000, OutputTokens: 10}})
+	if !ms[0].Rejected {
+		t.Fatal("oversized prompt should be rejected")
+	}
+	if err := e.alloc.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreemptionUnderKVPressure(t *testing.T) {
+	// Shrink the cache by using a tiny block budget via many large
+	// concurrent requests on a single replica.
+	cm := llamaCM(t)
+	cfg := Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}, MaxSeqs: 64}
+	e := mustEngine(t, cfg)
+	cap := e.KVCapacityTokens()
+	// 30 requests whose combined context is ~2x capacity force decode
+	// growth preemptions.
+	per := cap / 15
+	reqs := make([]workload.Request, 30)
+	for i := range reqs {
+		reqs[i] = workload.Request{ID: i, InputTokens: per - 500, OutputTokens: 600}
+	}
+	ms := e.Run(reqs)
+	completed := 0
+	for _, m := range ms {
+		if !m.Rejected {
+			completed++
+		}
+	}
+	if completed != 30 {
+		t.Fatalf("completed %d/30", completed)
+	}
+	if e.preemptions == 0 {
+		t.Fatal("expected preemptions under 2x oversubscription")
+	}
+	if err := e.alloc.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftUsesBothConfigs(t *testing.T) {
+	e := mustEngine(t, shiftCfg(llamaCM(t)))
+	e.Run(workload.Single(4096, 200).Requests)
+	if e.shiftIters == 0 {
+		t.Fatal("decode iterations should run the shift (TP) config")
+	}
+	if e.baseIters == 0 {
+		t.Fatal("prefill iterations should run the base (SP) config")
+	}
+}
+
+func TestShiftThresholdRouting(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := shiftCfg(cm)
+	cfg.ShiftThreshold = 100
+	e := mustEngine(t, cfg)
+	e.recordEvents = true
+	e.Run(workload.Single(4096, 50).Requests)
+	for _, ev := range e.events {
+		if ev.Tokens > 100 && ev.Par.SP == 1 {
+			t.Fatalf("large batch (%d tokens) ran on shift config", ev.Tokens)
+		}
+		if ev.Tokens <= 100 && ev.Par.SP != 1 {
+			t.Fatalf("small batch (%d tokens) ran on base config", ev.Tokens)
+		}
+	}
+}
+
+func TestTTFTMonotoneWithQueueing(t *testing.T) {
+	// Back-to-back arrivals: later requests wait longer.
+	cm := llamaCM(t)
+	e := mustEngine(t, tp8Cfg(cm))
+	reqs := make([]workload.Request, 10)
+	for i := range reqs {
+		reqs[i] = workload.Request{ID: i, InputTokens: 8000, OutputTokens: 5}
+	}
+	ms := e.Run(reqs)
+	first, last := ms[0], ms[len(ms)-1]
+	if last.TTFT <= first.TTFT {
+		t.Fatalf("queueing should grow TTFT: first %v, last %v", first.TTFT, last.TTFT)
+	}
+}
+
+// --- Cluster behaviour ---
+
+func TestDPRouterBalances(t *testing.T) {
+	cm := llamaCM(t)
+	cl := DPCluster("dp", Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}, 8)
+	res, err := cl.Run(workload.Closed("c", 80, 2000, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected %d", res.Rejected)
+	}
+	if res.TotalTokens != 80*2050 {
+		t.Fatalf("tokens = %d", res.TotalTokens)
+	}
+}
+
+func TestStandardClustersShapes(t *testing.T) {
+	cm := llamaCM(t)
+	clusters, err := StandardClusters(cm, perf.Parallelism{SP: 8, TP: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters["DP"].Configs) != 8 || len(clusters["TP"].Configs) != 1 {
+		t.Fatal("cluster shapes wrong")
+	}
+	if !clusters["DP"].Lockstep {
+		t.Fatal("DP should run in lockstep (vLLM DP semantics)")
+	}
+	if _, err := StandardClusters(cm, perf.Parallelism{SP: 2, TP: 2}, 8); err == nil {
+		t.Fatal("expected span mismatch error")
+	}
+}
+
+// The headline orderings of Figure 12 at the cluster level.
+func TestFig12ClusterOrderings(t *testing.T) {
+	cm := llamaCM(t)
+	clusters, err := StandardClusters(cm, perf.Parallelism{SP: 8, TP: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttft := map[string]time.Duration{}
+	tpot := map[string]time.Duration{}
+	for name, cl := range clusters {
+		tt, tp, err := cl.MinLatency(4096, 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ttft[name], tpot[name] = tt, tp
+	}
+	// Response: Shift==SP < TP < DP.
+	if !(ttft["Shift"] <= ttft["TP"] && ttft["TP"] < ttft["DP"]) {
+		t.Fatalf("TTFT ordering: %v", ttft)
+	}
+	// Generation: Shift==TP < DP < SP.
+	if !(tpot["Shift"] <= tpot["DP"] && tpot["DP"] < tpot["SP"]) {
+		t.Fatalf("TPOT ordering: %v", tpot)
+	}
+
+	tput := map[string]float64{}
+	for name, cl := range clusters {
+		tp, err := cl.PeakThroughput(240, 4096, 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput[name] = tp
+	}
+	// Throughput: TP < SP <= Shift (paper: Shift ~ SP, both >> TP).
+	if !(tput["TP"] < tput["SP"]) {
+		t.Fatalf("throughput ordering: %v", tput)
+	}
+	if tput["Shift"] < 0.95*tput["SP"] {
+		t.Fatalf("Shift throughput %v should be close to SP %v", tput["Shift"], tput["SP"])
+	}
+	// Paper: Shift ~1.5x TP throughput.
+	if tput["Shift"] < 1.25*tput["TP"] {
+		t.Fatalf("Shift/TP throughput ratio %.2f < 1.25", tput["Shift"]/tput["TP"])
+	}
+}
+
+// --- Speculative decoding + SwiftKV composition (Figure 16) ---
+
+func TestSpecDecodeCutsDecodeIterations(t *testing.T) {
+	cm := llamaCM(t)
+	plain := mustEngine(t, tp8Cfg(cm))
+	plain.Run(workload.Single(1000, 200).Requests)
+
+	cfg := tp8Cfg(cm)
+	cfg.Stack = specdec.Stack{Spec: specdec.Spec{Len: 3, Acceptance: 0.7}}
+	spec := mustEngine(t, cfg)
+	ms := spec.Run(workload.Single(1000, 200).Requests)
+
+	if spec.iters >= plain.iters {
+		t.Fatalf("spec decode iters %d >= plain %d", spec.iters, plain.iters)
+	}
+	if ms[0].Rejected || ms[0].Completion <= 0 {
+		t.Fatal("spec decode broke the request")
+	}
+}
+
+func TestSpecDecodeImprovesCompletion(t *testing.T) {
+	cm := llamaCM(t)
+	base := SingleEngine("plain", tp8Cfg(cm))
+	cfgS := tp8Cfg(cm)
+	cfgS.Stack = specdec.Stack{Spec: specdec.Spec{Len: 3, Acceptance: 0.7}}
+	fast := SingleEngine("spec", cfgS)
+
+	_, tpotBase, err := base.MinLatency(1000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tpotFast, err := fast.MinLatency(1000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpotFast >= tpotBase {
+		t.Fatalf("spec decode TPOT %v >= plain %v", tpotFast, tpotBase)
+	}
+}
+
+func TestSwiftKVCutsTTFT(t *testing.T) {
+	cm := llamaCM(t)
+	base := SingleEngine("plain", tp8Cfg(cm))
+	cfgS := tp8Cfg(cm)
+	sk := specdec.DefaultSwiftKV()
+	cfgS.Stack = specdec.Stack{SwiftKV: &sk}
+	fast := SingleEngine("swiftkv", cfgS)
+
+	ttftBase, _, err := base.MinLatency(8192, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttftFast, _, err := fast.MinLatency(8192, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttftFast >= ttftBase {
+		t.Fatalf("SwiftKV TTFT %v >= plain %v", ttftFast, ttftBase)
+	}
+}
+
+// --- Conservation properties ---
+
+func TestQuickConservationAcrossWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cm := llamaCM(t)
+	f := func(nRaw, inRaw, outRaw uint8) bool {
+		n := 1 + int(nRaw)%12
+		in := 200 + int(inRaw)*40
+		out := 1 + int(outRaw)%100
+		e, err := NewEngine(tp8Cfg(cm))
+		if err != nil {
+			return false
+		}
+		tr := workload.Closed("c", n, in, out)
+		ms := e.Run(tr.Requests)
+		if len(ms) != n {
+			return false
+		}
+		for _, m := range ms {
+			if m.Rejected {
+				return false
+			}
+			if m.TTFT <= 0 || m.Completion < m.TTFT {
+				return false
+			}
+		}
+		return e.tokensServed == tr.TotalTokens() &&
+			e.alloc.CheckInvariant() == nil && e.alloc.UsedBlocks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	cm := llamaCM(t)
+	cl := SingleEngine("tp", tp8Cfg(cm))
+	cl.RecordEvents = true
+	res, err := cl.Run(workload.Closed("c", 10, 1000, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTFT.N() != 10 || res.Completion.N() != 10 {
+		t.Fatalf("sample sizes: ttft %d comp %d", res.TTFT.N(), res.Completion.N())
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	if len(res.Events) != res.Iters {
+		t.Fatalf("events %d != iters %d", len(res.Events), res.Iters)
+	}
+	series := res.ThroughputSeries(time.Second)
+	total := 0.0
+	for _, b := range series.Buckets() {
+		total += b
+	}
+	if int(total) != res.TotalTokens {
+		t.Fatalf("series total %v != tokens %d", total, res.TotalTokens)
+	}
+	if res.Summary() == "" {
+		t.Fatal("summary empty")
+	}
+}
+
+func TestLockstepSlowerThanIndependent(t *testing.T) {
+	// Heterogeneous sizes: lockstep DP pays the slowest replica each step.
+	cm := llamaCM(t)
+	cfg := Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+	mk := func(lockstep bool) *Result {
+		cl := DPCluster("dp", cfg, 4)
+		cl.Lockstep = lockstep
+		reqs := make([]workload.Request, 40)
+		rngSizes := []int{500, 8000, 1500, 12000}
+		for i := range reqs {
+			reqs[i] = workload.Request{ID: i, InputTokens: rngSizes[i%4], OutputTokens: 50}
+		}
+		tr := &workload.Trace{Name: "het", Requests: reqs}
+		res, err := cl.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	lock := mk(true)
+	free := mk(false)
+	if lock.Throughput() >= free.Throughput() {
+		t.Fatalf("lockstep tput %.0f >= independent %.0f", lock.Throughput(), free.Throughput())
+	}
+}
+
+func TestMinLatencySingleRequestNoQueueing(t *testing.T) {
+	cm := llamaCM(t)
+	cl := SingleEngine("tp", tp8Cfg(cm))
+	ttft, tpot, err := cl.MinLatency(4096, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should match the cost model's MinTTFT within the chunking effects.
+	want := cm.MinTTFT(perf.Parallelism{SP: 1, TP: 8}, 4096)
+	if ttft < want/2 || ttft > want*2 {
+		t.Fatalf("cluster TTFT %v vs model %v", ttft, want)
+	}
+	if tpot <= 0 {
+		t.Fatal("tpot must be positive")
+	}
+}

@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Sum() != 6 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 2 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample should return zeros")
+	}
+}
+
+func TestPercentileExact(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.P99(); math.Abs(got-99.01) > 0.05 {
+		t.Fatalf("p99 = %v", got)
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	for _, p := range []float64{0, 50, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Fatalf("p%v of single = %v", p, got)
+		}
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Percentile(101)
+}
+
+func TestAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Median()
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Fatal("Add after percentile query lost re-sort")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if s.Max() != 1500 {
+		t.Fatalf("duration ms = %v", s.Max())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.N != 1000 || sum.Min != 0 || sum.Max != 999 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.P50 > sum.P90 || sum.P90 > sum.P95 || sum.P95 > sum.P99 {
+		t.Fatalf("percentiles not monotone: %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "n=1000") {
+		t.Fatalf("summary string %q", sum.String())
+	}
+}
+
+func TestPercentileCurveShape(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i * i))
+	}
+	curve := s.PercentileCurve([]float64{10, 50, 90})
+	if len(curve) != 3 {
+		t.Fatalf("curve len %d", len(curve))
+	}
+	if curve[0][1] >= curve[1][1] || curve[1][1] >= curve[2][1] {
+		t.Fatalf("curve not increasing: %v", curve)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pct := float64(p % 101)
+		v := s.Percentile(pct)
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return v >= sorted[0] && v <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesBuckets(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Observe(0, 10)
+	s.Observe(500*time.Millisecond, 5)
+	s.Observe(2500*time.Millisecond, 7)
+	got := s.Buckets()
+	want := []float64{15, 0, 7}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeriesRatesAndPeak(t *testing.T) {
+	s := NewSeries(2 * time.Second)
+	s.Observe(time.Second, 100) // bucket 0: 50/s
+	s.Observe(3*time.Second, 30)
+	rates := s.Rates()
+	if rates[0] != 50 || rates[1] != 15 {
+		t.Fatalf("rates = %v", rates)
+	}
+	if s.Peak() != 50 {
+		t.Fatalf("peak = %v", s.Peak())
+	}
+}
+
+func TestSeriesNegativeTimePanics(t *testing.T) {
+	s := NewSeries(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Observe(-time.Second, 1)
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Model", "TTFT", "Tput")
+	tab.AddRow("Llama-70B", 159.0, 24700.0)
+	tab.AddRow("Qwen-32B", 113.0, 38300.0)
+	out := tab.String()
+	if !strings.Contains(out, "Llama-70B") || !strings.Contains(out, "24.7k") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		45900: "45.9k",
+		159:   "159",
+		9.34:  "9.34",
+		0.5:   "0.500",
+		0:     "0",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestValuesCopy(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	v := s.Values()
+	v[0] = 99
+	if s.Max() != 1 {
+		t.Fatal("Values returned shared storage")
+	}
+}

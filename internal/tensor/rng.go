@@ -1,0 +1,70 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic random number generator (SplitMix64 core
+// with a Box-Muller gaussian). It exists so that weight initialization is
+// reproducible across parallel configurations without importing math/rand
+// state into every package.
+type RNG struct {
+	state uint64
+	spare float64
+	has   bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample.
+func (r *RNG) Norm() float64 {
+	if r.has {
+		r.has = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	mul := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * mul
+	r.has = true
+	return u * mul
+}
+
+// RandMatrix returns a rows x cols matrix of N(0, scale^2) entries.
+func (r *RNG) RandMatrix(rows, cols int, scale float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Norm() * scale
+	}
+	return m
+}

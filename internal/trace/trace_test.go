@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAzureCodeShape(t *testing.T) {
+	tr := AzureCode(1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr)
+	// Paper Figure 8a: ~2727 requests over 15 minutes.
+	if s.Requests < 2400 || s.Requests > 3100 {
+		t.Fatalf("requests = %d, want ~2727", s.Requests)
+	}
+	if s.Duration > FifteenMinutes+time.Minute {
+		t.Fatalf("duration = %v", s.Duration)
+	}
+	// Agentic code completion: medium inputs, short outputs.
+	if s.MeanIn < 1500 || s.MeanIn > 5000 {
+		t.Fatalf("mean input = %.0f", s.MeanIn)
+	}
+	if s.MeanOut > 200 {
+		t.Fatalf("mean output = %.0f (should be short)", s.MeanOut)
+	}
+	if s.MaxIn > 12000 {
+		t.Fatalf("max input = %d", s.MaxIn)
+	}
+}
+
+func TestAzureCodeIsBursty(t *testing.T) {
+	tr := AzureCode(2)
+	// Count arrivals per 10 s bucket; the bursts should give a peak rate
+	// several times the median rate.
+	buckets := make(map[int]int)
+	for _, r := range tr.Requests {
+		buckets[int(r.Arrival/(10*time.Second))]++
+	}
+	peak, total := 0, 0
+	for _, n := range buckets {
+		if n > peak {
+			peak = n
+		}
+		total += n
+	}
+	mean := float64(total) / float64(len(buckets))
+	if float64(peak) < 4*mean {
+		t.Fatalf("peak bucket %d < 4x mean %.1f: not bursty", peak, mean)
+	}
+}
+
+func TestMooncakeShape(t *testing.T) {
+	tr := MooncakeConversation(1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr)
+	// ~2832 requests over 15 minutes, in groups of 9.
+	if s.Requests < 2700 || s.Requests > 2900 {
+		t.Fatalf("requests = %d, want ~2832", s.Requests)
+	}
+	// Long inputs, long outputs (conversation with context).
+	if s.MeanIn < 10000 {
+		t.Fatalf("mean input = %.0f (should be long)", s.MeanIn)
+	}
+	if s.MeanOut < 300 {
+		t.Fatalf("mean output = %.0f (should be long)", s.MeanOut)
+	}
+}
+
+func TestMooncakeSteadyGroups(t *testing.T) {
+	tr := MooncakeConversation(3)
+	// Group arrivals: exactly 9 requests share each arrival instant.
+	counts := map[time.Duration]int{}
+	for _, r := range tr.Requests {
+		counts[r.Arrival]++
+	}
+	for at, n := range counts {
+		if n != 9 {
+			t.Fatalf("group at %v has %d requests, want 9", at, n)
+		}
+	}
+}
+
+func TestBurstyHasFourBursts(t *testing.T) {
+	tr := Bursty(1, 10*time.Minute)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket at 20 s; expect exactly 4 buckets well above baseline.
+	buckets := make(map[int]int)
+	for _, r := range tr.Requests {
+		buckets[int(r.Arrival/(20*time.Second))]++
+	}
+	high := 0
+	for _, n := range buckets {
+		if n > 100 {
+			high++
+		}
+	}
+	if high != 4 {
+		t.Fatalf("high-traffic buckets = %d, want 4", high)
+	}
+	// Both request classes present.
+	classes := map[string]int{}
+	for _, r := range tr.Requests {
+		classes[r.Class]++
+	}
+	if classes["interactive"] == 0 || classes["batch"] == 0 {
+		t.Fatalf("classes = %v", classes)
+	}
+}
+
+func TestProductionMix(t *testing.T) {
+	tr := ProductionMix(1, 600)
+	if len(tr.Requests) != 600 {
+		t.Fatalf("n = %d", len(tr.Requests))
+	}
+	classes := map[string]int{}
+	for _, r := range tr.Requests {
+		classes[r.Class]++
+	}
+	for _, c := range []string{"humaneval", "swebench", "sharegpt"} {
+		if classes[c] < 100 {
+			t.Fatalf("class %s underrepresented: %v", c, classes)
+		}
+	}
+}
+
+func TestTwinsDeterministic(t *testing.T) {
+	a, b := AzureCode(9), AzureCode(9)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed, different azure twins")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("same seed, different request")
+		}
+	}
+	c := AzureCode(10)
+	if len(a.Requests) == len(c.Requests) && a.Requests[0] == c.Requests[0] {
+		t.Fatal("different seeds produced identical twins")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(ProductionMix(1, 1))
+	if s.Requests != 1 {
+		t.Fatal("summarize broken")
+	}
+}

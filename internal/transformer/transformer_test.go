@@ -1,0 +1,239 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func testCfg() Config {
+	return Config{Layers: 2, Hidden: 16, QHeads: 4, KVHeads: 2, FFN: 32}
+}
+
+func randChunk(rng *tensor.RNG, seq, tokens, d int) Chunk {
+	return Chunk{Seq: seq, X: rng.RandMatrix(tokens, d, 1)}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Layers: 1, Hidden: 15, QHeads: 4, KVHeads: 2, FFN: 8},
+		{Layers: 1, Hidden: 16, QHeads: 4, KVHeads: 3, FFN: 8},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestNewWeightsDeterministic(t *testing.T) {
+	a := NewWeights(testCfg(), 7)
+	b := NewWeights(testCfg(), 7)
+	c := NewWeights(testCfg(), 8)
+	if !tensor.Equal(a.Layers[0].Wq, b.Layers[0].Wq, 0) {
+		t.Fatal("same seed produced different weights")
+	}
+	if tensor.Equal(a.Layers[0].Wq, c.Layers[0].Wq, 0) {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	cfg := testCfg()
+	w := NewWeights(cfg, 1)
+	d, dh := cfg.Hidden, cfg.HeadDim()
+	perLayer := d*cfg.QHeads*dh + 2*d*cfg.KVHeads*dh + cfg.QHeads*dh*d + 2*d*cfg.FFN
+	if got := w.ParamCount(); got != cfg.Layers*perLayer {
+		t.Fatalf("param count = %d, want %d", got, cfg.Layers*perLayer)
+	}
+}
+
+func TestForwardShape(t *testing.T) {
+	w := NewWeights(testCfg(), 1)
+	ref := NewReference(w)
+	rng := tensor.NewRNG(2)
+	out := ref.Forward([]Chunk{randChunk(rng, 0, 5, 16), randChunk(rng, 1, 3, 16)})
+	if out.Rows != 8 || out.Cols != 16 {
+		t.Fatalf("out shape %dx%d", out.Rows, out.Cols)
+	}
+	if ref.Cache.Len(0) != 5 || ref.Cache.Len(1) != 3 {
+		t.Fatalf("cache lens %d/%d", ref.Cache.Len(0), ref.Cache.Len(1))
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	w := NewWeights(testCfg(), 1)
+	rng := tensor.NewRNG(3)
+	batch := []Chunk{randChunk(rng, 0, 4, 16)}
+	a := NewReference(w).Forward(batch)
+	b := NewReference(w).Forward(batch)
+	if !tensor.Equal(a, b, 0) {
+		t.Fatal("forward not deterministic")
+	}
+}
+
+// Causality: output rows for a prefix must not depend on later tokens.
+func TestForwardCausal(t *testing.T) {
+	w := NewWeights(testCfg(), 1)
+	rng := tensor.NewRNG(4)
+	x := rng.RandMatrix(6, 16, 1)
+
+	full := NewReference(w).Forward([]Chunk{{Seq: 0, X: x}})
+	prefix := NewReference(w).Forward([]Chunk{{Seq: 0, X: tensor.SliceRows(x, 0, 3)}})
+	if !tensor.Equal(tensor.SliceRows(full, 0, 3), prefix, 1e-9) {
+		t.Fatalf("prefix rows differ: %g", tensor.MaxAbsDiff(tensor.SliceRows(full, 0, 3), prefix))
+	}
+}
+
+// Chunked prefill equivalence: feeding a prompt in pieces produces the
+// same final-token output and cache as feeding it at once.
+func TestChunkedPrefillEquivalence(t *testing.T) {
+	w := NewWeights(testCfg(), 1)
+	rng := tensor.NewRNG(5)
+	x := rng.RandMatrix(7, 16, 1)
+
+	whole := NewReference(w)
+	outWhole := whole.Forward([]Chunk{{Seq: 0, X: x}})
+
+	pieces := NewReference(w)
+	var outLast *tensor.Matrix
+	for _, span := range [][2]int{{0, 3}, {3, 5}, {5, 7}} {
+		outLast = pieces.Forward([]Chunk{{Seq: 0, X: tensor.SliceRows(x, span[0], span[1])}})
+	}
+	gotLast := outLast.Row(outLast.Rows - 1)
+	wantLast := outWhole.Row(outWhole.Rows - 1)
+	for i := range wantLast {
+		if math.Abs(gotLast[i]-wantLast[i]) > 1e-9 {
+			t.Fatalf("chunked prefill diverged at col %d: %v vs %v", i, gotLast[i], wantLast[i])
+		}
+	}
+	if whole.Cache.Fingerprint() != pieces.Cache.Fingerprint() {
+		// Cache entries come from identical math in identical order, so
+		// they must agree bit-for-bit.
+		t.Fatal("chunked prefill cache differs from whole prefill")
+	}
+}
+
+// Decode equivalence: prefill(n) then decode(1) equals prefill(n+1) on
+// the last row.
+func TestDecodeMatchesPrefill(t *testing.T) {
+	w := NewWeights(testCfg(), 1)
+	rng := tensor.NewRNG(6)
+	x := rng.RandMatrix(5, 16, 1)
+
+	oneShot := NewReference(w).Forward([]Chunk{{Seq: 0, X: x}})
+
+	eng := NewReference(w)
+	eng.Forward([]Chunk{{Seq: 0, X: tensor.SliceRows(x, 0, 4)}})
+	dec := eng.Forward([]Chunk{{Seq: 0, X: tensor.SliceRows(x, 4, 5)}})
+
+	for i := 0; i < 16; i++ {
+		if math.Abs(dec.At(0, i)-oneShot.At(4, i)) > 1e-9 {
+			t.Fatalf("decode col %d: %v vs %v", i, dec.At(0, i), oneShot.At(4, i))
+		}
+	}
+}
+
+// Batch independence: co-batched sequences do not influence each other.
+func TestBatchIsolation(t *testing.T) {
+	w := NewWeights(testCfg(), 1)
+	rng := tensor.NewRNG(7)
+	a := rng.RandMatrix(4, 16, 1)
+	b := rng.RandMatrix(3, 16, 1)
+
+	together := NewReference(w).Forward([]Chunk{{Seq: 0, X: a}, {Seq: 1, X: b}})
+	alone := NewReference(w).Forward([]Chunk{{Seq: 0, X: a}})
+	if !tensor.Equal(tensor.SliceRows(together, 0, 4), alone, 1e-9) {
+		t.Fatal("co-batched sequence contaminated")
+	}
+}
+
+func TestMultiStepDecodeBatch(t *testing.T) {
+	w := NewWeights(testCfg(), 1)
+	rng := tensor.NewRNG(8)
+	eng := NewReference(w)
+	eng.Forward([]Chunk{randChunk(rng, 0, 3, 16), randChunk(rng, 1, 5, 16)})
+	for step := 0; step < 3; step++ {
+		out := eng.Forward([]Chunk{randChunk(rng, 0, 1, 16), randChunk(rng, 1, 1, 16)})
+		if out.Rows != 2 {
+			t.Fatalf("decode step rows = %d", out.Rows)
+		}
+	}
+	if eng.Cache.Len(0) != 6 || eng.Cache.Len(1) != 8 {
+		t.Fatalf("cache lens after decode: %d/%d", eng.Cache.Len(0), eng.Cache.Len(1))
+	}
+}
+
+func TestAttendUniformWhenZeroQK(t *testing.T) {
+	// With zero q/k the scores are uniform and output is the mean of v.
+	q := tensor.New(1, 2)
+	k := tensor.New(3, 2)
+	v := tensor.FromRows([][]float64{{0, 0}, {3, 3}, {6, 9}})
+	out := Attend(q, k, v, 2)
+	if math.Abs(out.At(0, 0)-3) > 1e-12 || math.Abs(out.At(0, 1)-4) > 1e-12 {
+		t.Fatalf("uniform attention mean = %v,%v", out.At(0, 0), out.At(0, 1))
+	}
+}
+
+func TestAttendCausalMask(t *testing.T) {
+	// Token at position 0 (prevLen 0) must ignore rows 1+ entirely.
+	q := tensor.FromRows([][]float64{{1, 0}})
+	k := tensor.FromRows([][]float64{{1, 0}, {100, 0}})
+	v := tensor.FromRows([][]float64{{5, 5}, {-100, -100}})
+	out := Attend(q, k, v, 0)
+	if out.At(0, 0) != 5 || out.At(0, 1) != 5 {
+		t.Fatalf("causal mask leaked future: %v", out.Row(0))
+	}
+}
+
+func TestBatchTokens(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	batch := []Chunk{randChunk(rng, 0, 4, 8), randChunk(rng, 1, 1, 8)}
+	if BatchTokens(batch) != 5 {
+		t.Fatalf("BatchTokens = %d", BatchTokens(batch))
+	}
+}
+
+func TestFlattenSpans(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	batch := []Chunk{randChunk(rng, 0, 2, 4), randChunk(rng, 1, 3, 4)}
+	x, spans := Flatten(batch)
+	if x.Rows != 5 {
+		t.Fatalf("flatten rows = %d", x.Rows)
+	}
+	if spans[0] != [2]int{0, 2} || spans[1] != [2]int{2, 5} {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestEmptyBatchPanics(t *testing.T) {
+	w := NewWeights(testCfg(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReference(w).Forward(nil)
+}
+
+func TestGQASharesKVHeads(t *testing.T) {
+	// With GQA, q heads in the same group read the same kv head: check
+	// the cache holds KVHeads (not QHeads) entries.
+	cfg := testCfg()
+	w := NewWeights(cfg, 1)
+	ref := NewReference(w)
+	rng := tensor.NewRNG(11)
+	ref.Forward([]Chunk{randChunk(rng, 0, 4, cfg.Hidden)})
+	if ref.Cache.Heads != cfg.KVHeads {
+		t.Fatalf("cache heads = %d, want %d", ref.Cache.Heads, cfg.KVHeads)
+	}
+	k := ref.Cache.K(0, 0, 0)
+	if k.Rows != 4 {
+		t.Fatalf("cached k rows = %d", k.Rows)
+	}
+}

@@ -1,0 +1,241 @@
+// Package workload defines the request streams the serving simulator
+// consumes: request records, size distributions, and arrival processes
+// (open-loop Poisson, bursts, batched arrivals, closed batches). The
+// synthetic trace twins of internal/trace are built from these pieces.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Request is one inference request.
+type Request struct {
+	ID      int
+	Arrival time.Duration // offset from trace start
+	// InputTokens is the prompt length; OutputTokens the generation length.
+	InputTokens  int
+	OutputTokens int
+	// Class tags the request's origin (e.g. "interactive", "batch",
+	// "agentic"); informational.
+	Class string
+}
+
+// TotalTokens returns input+output, the unit of combined throughput.
+func (r Request) TotalTokens() int { return r.InputTokens + r.OutputTokens }
+
+// Trace is a time-ordered request stream.
+type Trace struct {
+	Name     string
+	Requests []Request
+}
+
+// Validate checks ordering and positivity.
+func (t *Trace) Validate() error {
+	last := time.Duration(-1)
+	for i, r := range t.Requests {
+		if r.Arrival < last {
+			return fmt.Errorf("workload: trace %s not time-ordered at index %d", t.Name, i)
+		}
+		if r.InputTokens <= 0 || r.OutputTokens <= 0 {
+			return fmt.Errorf("workload: trace %s request %d has non-positive sizes", t.Name, i)
+		}
+		last = r.Arrival
+	}
+	return nil
+}
+
+// Duration returns the arrival span of the trace.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	return t.Requests[len(t.Requests)-1].Arrival
+}
+
+// TotalTokens sums input+output over all requests.
+func (t *Trace) TotalTokens() int {
+	n := 0
+	for _, r := range t.Requests {
+		n += r.TotalTokens()
+	}
+	return n
+}
+
+// OfferedRate returns the average offered load in tokens/second.
+func (t *Trace) OfferedRate() float64 {
+	d := t.Duration().Seconds()
+	if d == 0 {
+		return 0
+	}
+	return float64(t.TotalTokens()) / d
+}
+
+// sortAndNumber finalizes a request list into a trace.
+func sortAndNumber(name string, reqs []Request) *Trace {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	for i := range reqs {
+		reqs[i].ID = i
+	}
+	return &Trace{Name: name, Requests: reqs}
+}
+
+// Merge combines traces into one time-ordered trace.
+func Merge(name string, traces ...*Trace) *Trace {
+	var reqs []Request
+	for _, t := range traces {
+		reqs = append(reqs, t.Requests...)
+	}
+	return sortAndNumber(name, reqs)
+}
+
+// --- Size distributions ---
+
+// SizeDist draws (input, output) token counts.
+type SizeDist interface {
+	Sample(rng *tensor.RNG) (in, out int)
+}
+
+// FixedSize always returns the same sizes (the paper's parameterized
+// benchmarks: 4k/250, 8k/250, ...).
+type FixedSize struct {
+	In, Out int
+}
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(*tensor.RNG) (int, int) { return f.In, f.Out }
+
+// LognormalSize draws lognormal sizes clamped to [Min, Max].
+type LognormalSize struct {
+	MedianIn, SigmaIn   float64
+	MedianOut, SigmaOut float64
+	MinIn, MaxIn        int
+	MinOut, MaxOut      int
+}
+
+// Sample implements SizeDist.
+func (l LognormalSize) Sample(rng *tensor.RNG) (int, int) {
+	in := lognormal(rng, l.MedianIn, l.SigmaIn)
+	out := lognormal(rng, l.MedianOut, l.SigmaOut)
+	return clamp(in, l.MinIn, l.MaxIn), clamp(out, l.MinOut, l.MaxOut)
+}
+
+func lognormal(rng *tensor.RNG, median, sigma float64) int {
+	return int(median * math.Exp(sigma*rng.Norm()))
+}
+
+func clamp(v, lo, hi int) int {
+	if lo > 0 && v < lo {
+		return lo
+	}
+	if hi > 0 && v > hi {
+		return hi
+	}
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Mixture draws from component distributions with the given weights.
+type Mixture struct {
+	Dists   []SizeDist
+	Weights []float64
+	Classes []string // optional class tag per component
+}
+
+// Sample implements SizeDist.
+func (m Mixture) Sample(rng *tensor.RNG) (int, int) {
+	in, out, _ := m.SampleClass(rng)
+	return in, out
+}
+
+// SampleClass draws sizes plus the component's class tag.
+func (m Mixture) SampleClass(rng *tensor.RNG) (in, out int, class string) {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range m.Weights {
+		x -= w
+		if x <= 0 || i == len(m.Weights)-1 {
+			in, out = m.Dists[i].Sample(rng)
+			if i < len(m.Classes) {
+				class = m.Classes[i]
+			}
+			return in, out, class
+		}
+	}
+	panic("workload: unreachable")
+}
+
+// --- Arrival processes ---
+
+// Poisson generates an open-loop Poisson arrival stream at ratePerSec for
+// the given duration.
+func Poisson(name string, rng *tensor.RNG, ratePerSec float64, duration time.Duration, sizes SizeDist, class string) *Trace {
+	if ratePerSec <= 0 {
+		panic("workload: non-positive rate")
+	}
+	var reqs []Request
+	t := 0.0
+	for {
+		t += -math.Log(1-rng.Float64()) / ratePerSec
+		at := time.Duration(t * float64(time.Second))
+		if at >= duration {
+			break
+		}
+		in, out := sizes.Sample(rng)
+		reqs = append(reqs, Request{Arrival: at, InputTokens: in, OutputTokens: out, Class: class})
+	}
+	return sortAndNumber(name, reqs)
+}
+
+// Burst generates n requests arriving uniformly within [start, start+width).
+func Burst(name string, rng *tensor.RNG, n int, start, width time.Duration, sizes SizeDist, class string) *Trace {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		at := start + time.Duration(rng.Float64()*float64(width))
+		in, out := sizes.Sample(rng)
+		reqs[i] = Request{Arrival: at, InputTokens: in, OutputTokens: out, Class: class}
+	}
+	return sortAndNumber(name, reqs)
+}
+
+// BatchedArrivals generates groups of groupSize requests every interval
+// (the Mooncake pattern: "a batch of nearly 9 requests is sent every 3
+// seconds").
+func BatchedArrivals(name string, rng *tensor.RNG, groupSize int, interval, duration time.Duration, sizes SizeDist, class string) *Trace {
+	var reqs []Request
+	for at := time.Duration(0); at < duration; at += interval {
+		for i := 0; i < groupSize; i++ {
+			in, out := sizes.Sample(rng)
+			reqs = append(reqs, Request{Arrival: at, InputTokens: in, OutputTokens: out, Class: class})
+		}
+	}
+	return sortAndNumber(name, reqs)
+}
+
+// Closed generates n identical requests all arriving at time zero — the
+// peak-throughput measurement of Section 4.3.1 ("send a batch of requests
+// and provide sufficient concurrency to saturate the GPU").
+func Closed(name string, n, inTok, outTok int) *Trace {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{InputTokens: inTok, OutputTokens: outTok, Class: "batch"}
+	}
+	return sortAndNumber(name, reqs)
+}
+
+// Single generates one request at time zero — the minimum-latency
+// measurement ("process requests sequentially").
+func Single(inTok, outTok int) *Trace {
+	return &Trace{Name: "single", Requests: []Request{{
+		InputTokens: inTok, OutputTokens: outTok, Class: "interactive",
+	}}}
+}
