@@ -1,0 +1,29 @@
+# One-command verify + bench harness. `make ci` is what the tier-1
+# gate runs in spirit: formatting, vet, the full test suite under the
+# race detector, and a single pass of every benchmark.
+
+GO ?= go
+
+.PHONY: ci fmt vet test race bench build
+
+ci: fmt vet race bench
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every table/figure benchmark (quick scale).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -299,3 +299,24 @@ func BenchmarkExtension_ExpertParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCluster_Routing sweeps the router policies x replica counts
+// on mixed interactive+batch SLO traffic (cmd/clusterbench's table).
+func BenchmarkCluster_Routing(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ClusterRouting(e, []int{2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCluster_HeteroRouting runs the heterogeneous-fleet sweep.
+func BenchmarkCluster_HeteroRouting(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HeteroRouting(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

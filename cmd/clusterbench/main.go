@@ -1,0 +1,63 @@
+// Command clusterbench sweeps the cluster routing policies (round-robin,
+// least-outstanding-tokens, join-shortest-kv, session affinity) across
+// replica counts on mixed interactive+batch traffic with latency SLOs,
+// printing combined throughput plus per-class TTFT/TPOT SLO attainment.
+// With -hetero it repeats the sweep on a heterogeneous fleet (1-GPU and
+// 2-GPU replicas sharing one balancer).
+//
+// Usage:
+//
+//	clusterbench
+//	clusterbench -replicas 2,4,8 -hetero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", false, "reduced workload")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	replicas := flag.String("replicas", "", "comma-separated replica counts (default 4,8; quick 2,4)")
+	hetero := flag.Bool("hetero", false, "also sweep a heterogeneous 4x1-GPU + 2x2-GPU fleet")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	env.Seed = *seed
+
+	var counts []int
+	if *replicas != "" {
+		for _, f := range strings.Split(*replicas, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad -replicas entry %q", f)
+			}
+			counts = append(counts, n)
+		}
+	}
+
+	fmt.Println("=== Cluster routing x SLO scheduling: mixed chat+batch traffic (Llama-70B) ===")
+	tab, err := experiments.ClusterRouting(env, counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	if !*hetero {
+		return
+	}
+	fmt.Println("=== Heterogeneous fleet: 4x (SP=1,TP=1) + 2x (SP=1,TP=2) ===")
+	ht, err := experiments.HeteroRouting(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ht)
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/perf"
+	"repro/internal/serve"
 )
 
 func quickEnv() Env {
@@ -295,5 +296,26 @@ func TestAblationPrefixCache(t *testing.T) {
 	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestClusterRouting(t *testing.T) {
+	tab, err := ClusterRouting(quickEnv(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per router policy for the single replica count.
+	if len(tab.Rows) != len(serve.RouterNames) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(serve.RouterNames))
+	}
+}
+
+func TestHeteroRouting(t *testing.T) {
+	tab, err := HeteroRouting(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(serve.RouterNames) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(serve.RouterNames))
 	}
 }

@@ -21,6 +21,9 @@ type Cluster struct {
 	// (replicas synchronize every step; idle ranks wait). Independent
 	// replicas (Lockstep=false) model a fleet of separate servers.
 	Lockstep bool
+	// Router places arriving requests on replicas. nil uses
+	// least-outstanding-tokens, the historical default.
+	Router Router
 }
 
 // DPCluster returns n data-parallel replicas of the config (each replica
@@ -43,9 +46,16 @@ func SingleEngine(name string, cfg Config) Cluster {
 }
 
 // Run replays the trace through the cluster. Requests are routed at
-// arrival time to the replica with the least outstanding assigned work
-// (tokens), then each engine simulates independently — the engines share
-// nothing, exactly like vLLM data-parallel deployments behind a balancer.
+// arrival time by c.Router (nil: least-outstanding-tokens), then each
+// engine simulates independently — the engines share nothing, exactly
+// like vLLM data-parallel deployments behind a balancer. Routing is
+// deterministic: every built-in policy breaks score ties toward the
+// lowest replica index, so repeated runs assign identically. Routing is
+// orthogonal to Lockstep: with Lockstep=false each replica drains its
+// share on its own clock; with Lockstep=true the already-routed shares
+// are replayed on a shared clock where every global iteration lasts as
+// long as the slowest replica's step (vLLM DP engine semantics) — the
+// assignment itself is byte-identical in both modes.
 func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -60,17 +70,9 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 		engines[i] = e
 	}
 
-	assigned := make([][]workload.Request, len(engines))
-	outstanding := make([]int, len(engines))
-	for _, r := range t.Requests {
-		best := 0
-		for i := 1; i < len(engines); i++ {
-			if outstanding[i] < outstanding[best] {
-				best = i
-			}
-		}
-		assigned[best] = append(assigned[best], r)
-		outstanding[best] += r.TotalTokens()
+	assigned, err := routeTrace(c.Router, t, c.Configs, engines)
+	if err != nil {
+		return nil, err
 	}
 
 	var metrics []RequestMetrics
@@ -82,6 +84,39 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 		}
 	}
 	return buildResult(c.Name, metrics, engines), nil
+}
+
+// routeTrace assigns every request of the trace to exactly one replica
+// (conservation: the shares partition the trace), updating the router's
+// view of outstanding work after each placement.
+func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engine) ([][]workload.Request, error) {
+	if router == nil {
+		router = NewLeastOutstandingRouter()
+	}
+	if r, ok := router.(resettable); ok {
+		r.reset()
+	}
+	views := make([]ReplicaView, len(engines))
+	for i, e := range engines {
+		views[i] = ReplicaView{
+			Index:            i,
+			Name:             cfgs[i].Name,
+			KVCapacityTokens: e.KVCapacityTokens(),
+			FreeKVTokens:     e.KVCapacityTokens(),
+		}
+	}
+	assigned := make([][]workload.Request, len(engines))
+	for _, r := range t.Requests {
+		i := router.Route(r, views)
+		if i < 0 || i >= len(engines) {
+			return nil, fmt.Errorf("serve: router %s returned replica %d of %d", router.Name(), i, len(engines))
+		}
+		assigned[i] = append(assigned[i], r)
+		views[i].OutstandingTokens += r.TotalTokens()
+		views[i].OutstandingRequests++
+		views[i].FreeKVTokens -= r.TotalTokens()
+	}
+	return assigned, nil
 }
 
 // runLockstep steps all engines on a shared clock: each global iteration

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/kvcache"
@@ -137,11 +138,17 @@ type Engine struct {
 	now       time.Duration
 	completed []*seq
 
+	// sloAware flips on the first admitted request carrying a non-zero
+	// Priority or an SLO; until then every scheduling decision is
+	// bit-for-bit identical to the FIFO engine.
+	sloAware bool
+
 	// Accounting.
 	iters        int
 	shiftIters   int // iterations on the shift (full TP) config
 	baseIters    int // iterations on the base config
 	preemptions  int
+	sloPreempts  int // preemptions forced by an at-risk TTFT deadline
 	rejected     []*seq
 	cost         perf.Cost // accumulated component times
 	tokensServed int
@@ -221,6 +228,9 @@ func (e *Engine) admit() {
 			req: r, effInput: r.InputTokens, cached: cached, prefilled: cached,
 			enqueued: r.Arrival, firstTok: -1,
 		})
+		if r.Priority != 0 || r.SLO != nil {
+			e.sloAware = true
+		}
 		e.nextIdx++
 	}
 }
@@ -239,8 +249,9 @@ func (e *Engine) nextArrival() time.Duration {
 func (e *Engine) resolveEmpty() bool {
 	if len(e.running) > 1 {
 		// Memory-stuck: every runner blocked on KV growth. Preempt the
-		// youngest to unblock the others.
-		e.preemptAt(len(e.running) - 1)
+		// victim (youngest; lowest-priority first under SLO scheduling)
+		// to unblock the others.
+		e.preemptAt(e.victimAfter(-1))
 		return true
 	}
 	if len(e.running) == 1 {
@@ -288,6 +299,17 @@ func (b batchPlan) tokens() int {
 func (e *Engine) schedule() batchPlan {
 	plan := batchPlan{specTokens: e.cfg.Stack.Spec.VerifyTokensPerSeq()}
 
+	// 0. SLO scheduling (no-op until a request carries Priority/SLO):
+	// order the waiting queue by urgency and priority, and claim KV from
+	// strictly-lower-priority running work when an at-risk request could
+	// not otherwise be admitted this iteration.
+	if e.sloAware {
+		e.orderRunning()
+		e.orderWaiting()
+		e.preemptForUrgent()
+		e.orderWaiting() // urgency-preemption victims re-queue in order
+	}
+
 	// 1. Decode slots for running sequences that finished prefill; grow
 	// their KV allocation under pressure by preempting victims from the
 	// unprocessed tail of the running queue (vLLM's recompute policy).
@@ -297,13 +319,18 @@ func (e *Engine) schedule() batchPlan {
 			i++
 			continue
 		}
+		// Victims never outrank s: in SLO mode orderRunning sorted the
+		// queue by descending priority, so the tail is s's peers or work
+		// it outranks; in FIFO mode priorities are all equal.
 		need := s.ctx() + plan.specTokens
 		for !e.alloc.CanEnsure(s.req.ID, need) && len(e.running)-1 > i {
-			e.preemptAt(len(e.running) - 1)
+			e.preemptAt(e.victimAfter(i))
 		}
 		if !e.alloc.CanEnsure(s.req.ID, need) {
-			// s itself is the only candidate left: preempt it. The slot
-			// at i now holds the next sequence (or nothing).
+			// No eligible victim remains — s is the youngest candidate,
+			// or (under SLO scheduling) the surviving tail outranks it —
+			// so preempt s itself. The slot at i now holds the next
+			// sequence (or nothing).
 			e.preemptAt(i)
 			continue
 		}
@@ -315,19 +342,65 @@ func (e *Engine) schedule() batchPlan {
 		i++
 	}
 
+	if e.sloAware {
+		// Step-1 victims were prepended to waiting; restore priority
+		// order so reservation and admission see the queue sorted.
+		e.orderWaiting()
+	}
+
 	budget := e.cfg.ChunkBudget - len(plan.decodes)*plan.specTokens
-	// Free-block watermark: base headroom plus decode-growth demand of
-	// the current runners, so incremental prefill admission does not
-	// trigger preemption storms when decodes need to grow.
-	watermark := e.alloc.NumBlocks/100 + 2*len(e.running)
+	// Freeze the watermark before admissions mutate len(running): step 3
+	// must judge every admission against the same floor.
+	watermark := e.watermark()
 
 	// 2. Prefill chunks for running sequences still in prefill,
-	// allocating blocks incrementally (vLLM chunked prefill).
+	// allocating blocks incrementally (vLLM chunked prefill). Under SLO
+	// scheduling, higher-priority prefills consume the budget first, and
+	// enough budget is reserved for at-risk (urgent) waiters that
+	// strictly-lower-priority prefills cannot crowd them out of step 3 —
+	// they still use whatever budget the reservation leaves over.
+	type urgentDemand struct{ prio, chunk int }
+	var urgents []urgentDemand
+	if e.sloAware {
+		// Reserve only for at-risk waiters step 3 could actually admit,
+		// and never more than the iteration has left — otherwise large
+		// blocked urgents would stall lower-priority prefills for budget
+		// nobody can spend.
+		// Earlier reservations consume budget and blocks: judge each
+		// waiter against what would remain, by shrinking the budget and
+		// raising the watermark by the blocks already spoken for.
+		reserved, reservedBlocks := 0, 0
+		for _, w := range e.waiting { // priority-ordered: best waiters reserve first
+			if !e.atRisk(w) || !e.canAdmit(w, budget-reserved, watermark+reservedBlocks) {
+				continue
+			}
+			chunk := min(w.effInput-w.prefilled, budget-reserved)
+			if chunk <= 0 {
+				break
+			}
+			urgents = append(urgents, urgentDemand{w.req.Priority, chunk})
+			reserved += chunk
+			reservedBlocks += e.alloc.BlocksFor(w.prefilled+chunk) - e.alloc.Holds(w.req.ID)
+		}
+	}
+	// orderRunning already put higher-priority prefills first in SLO mode.
 	for _, s := range e.running {
 		if s.prefillDone() || budget <= 0 {
 			continue
 		}
-		chunk := min(s.effInput-s.prefilled, budget)
+		// Each runner only yields budget to urgent waiters that outrank
+		// it — reserving for lower-priority urgent work would invert
+		// priorities.
+		avail := budget
+		for _, u := range urgents {
+			if u.prio > s.req.Priority {
+				avail -= u.chunk
+			}
+		}
+		if avail <= 0 {
+			continue
+		}
+		chunk := min(s.effInput-s.prefilled, avail)
 		if !e.alloc.CanEnsure(s.req.ID, s.prefilled+chunk) {
 			slack := e.alloc.Holds(s.req.ID)*e.alloc.BlockTokens - s.prefilled
 			chunk = min(chunk, slack+e.alloc.FreeTokens())
@@ -344,24 +417,42 @@ func (e *Engine) schedule() batchPlan {
 	}
 
 	// 3. Admit waiting requests while budget and KV blocks (above the
-	// watermark) remain; prompts larger than the whole cache are rejected.
-	for len(e.waiting) > 0 && budget > 0 && len(e.running) < e.cfg.MaxSeqs {
-		s := e.waiting[0]
+	// watermark) remain; prompts larger than the whole cache are
+	// rejected. The FIFO engine stops at the first blocked waiter
+	// (head-of-line, vLLM semantics). SLO scheduling skips past a
+	// blocked waiter, but only equal/higher-priority or at-risk waiters
+	// may actually be admitted past it — letting ordinary lower-priority
+	// traffic through would starve the blocked request indefinitely
+	// under sustained load.
+	blockedPrio, anyBlocked := 0, false
+	for i := 0; i < len(e.waiting) && budget > 0 && len(e.running) < e.cfg.MaxSeqs; {
+		s := e.waiting[i]
 		if e.alloc.BlocksFor(s.effInput) > e.alloc.NumBlocks {
 			e.rejected = append(e.rejected, s)
-			e.waiting = e.waiting[1:]
+			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+			continue
+		}
+		if !e.canAdmit(s, budget, watermark) {
+			if !e.sloAware {
+				break // wait for blocks to free up
+			}
+			if !anyBlocked || s.req.Priority > blockedPrio {
+				anyBlocked, blockedPrio = true, s.req.Priority
+			}
+			i++
+			continue
+		}
+		if anyBlocked && s.req.Priority < blockedPrio && !e.atRisk(s) {
+			// Only deadline rescues may pass a blocked higher-priority
+			// waiter.
+			i++
 			continue
 		}
 		chunk := min(s.effInput-s.prefilled, budget)
-		// Blocks must cover any prefix-cache hit plus this chunk.
-		need := e.alloc.BlocksFor(s.prefilled+chunk) - e.alloc.Holds(s.req.ID)
-		if e.alloc.FreeBlocks()-need < watermark {
-			break // wait for blocks to free up
-		}
 		if err := e.alloc.Ensure(s.req.ID, s.prefilled+chunk); err != nil {
 			break
 		}
-		e.waiting = e.waiting[1:]
+		e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
 		e.running = append(e.running, s)
 		plan.prefills = append(plan.prefills, s)
 		plan.chunks = append(plan.chunks, chunk)
@@ -383,6 +474,114 @@ func (e *Engine) preemptAt(i int) {
 	e.preemptions++
 	e.running = append(e.running[:i], e.running[i+1:]...)
 	e.waiting = append([]*seq{s}, e.waiting...)
+}
+
+// victimAfter picks the preemption victim among running[after+1:]. The
+// FIFO engine always evicts the youngest (highest index); SLO-aware
+// scheduling evicts the lowest-priority sequence instead, still taking
+// the youngest among equals — so equal priorities reproduce the
+// historical choice exactly.
+func (e *Engine) victimAfter(after int) int {
+	if !e.sloAware {
+		return len(e.running) - 1
+	}
+	best := -1
+	for i := after + 1; i < len(e.running); i++ {
+		if best < 0 || e.running[i].req.Priority <= e.running[best].req.Priority {
+			best = i
+		}
+	}
+	return best
+}
+
+// orderWaiting sorts the waiting queue for SLO-aware scheduling: higher
+// Priority first, at-risk TTFT deadlines first within a priority band,
+// then the existing FIFO/recompute order (the sort is stable, so equal
+// keys keep today's order). Priority outranks urgency so loose-deadline
+// batch work that has waited long enough to turn urgent can never jump
+// ahead of interactive traffic.
+func (e *Engine) orderWaiting() {
+	sort.SliceStable(e.waiting, func(a, b int) bool {
+		sa, sb := e.waiting[a], e.waiting[b]
+		if sa.req.Priority != sb.req.Priority {
+			return sa.req.Priority > sb.req.Priority
+		}
+		ua, ub := e.atRisk(sa), e.atRisk(sb)
+		return ua && !ub
+	})
+}
+
+// orderRunning sorts the running queue by descending Priority (stable,
+// so FIFO order holds among equals — and the FIFO engine's order is
+// untouched when every priority matches). With low-priority work at the
+// tail, victimAfter's tail scan finds it first, and step 2 hands prefill
+// budget to high-priority sequences before low ones.
+func (e *Engine) orderRunning() {
+	sort.SliceStable(e.running, func(a, b int) bool {
+		return e.running[a].req.Priority > e.running[b].req.Priority
+	})
+}
+
+// atRisk reports whether a waiting sequence's TTFT can still be saved:
+// its deadline is urgent and it has not produced a first token — a
+// preempted-and-requeued sequence that already emitted one keeps its
+// recorded TTFT, so rescuing it buys nothing.
+func (e *Engine) atRisk(s *seq) bool { return s.firstTok < 0 && s.req.Urgent(e.now) }
+
+// watermark is the free-block floor admission must preserve: base
+// headroom plus decode-growth demand of the current runners, so
+// incremental prefill admission does not trigger preemption storms when
+// decodes need to grow.
+func (e *Engine) watermark() int {
+	return e.alloc.NumBlocks/100 + 2*len(e.running)
+}
+
+// preemptForUrgent preempts strictly-lower-priority running work when
+// the most urgent waiting request (TTFT deadline at risk) could not be
+// admitted under the KV watermark or MaxSeqs cap this iteration —
+// interactive traffic claims resources from batch traffic instead of
+// queueing behind it. Requests with NoDeadline are never urgent, so they
+// never trigger preemption here.
+func (e *Engine) preemptForUrgent() {
+	// The queue is priority-ordered, so a higher-priority (not yet
+	// urgent) head must not mask an at-risk waiter behind it: rescue the
+	// highest-priority at-risk one.
+	var w *seq
+	for _, s := range e.waiting {
+		if e.atRisk(s) {
+			w = s
+			break
+		}
+	}
+	if w == nil {
+		return
+	}
+	if e.alloc.BlocksFor(w.effInput) > e.alloc.NumBlocks {
+		return // unservable prompt: step 3 rejects it, evictions buy nothing
+	}
+	for {
+		if e.canAdmit(w, e.cfg.ChunkBudget, e.watermark()) {
+			return // admissible now
+		}
+		v := e.victimAfter(-1)
+		if v < 0 || e.running[v].req.Priority >= w.req.Priority {
+			return // nothing strictly cheaper to evict
+		}
+		e.preemptAt(v)
+		e.sloPreempts++
+	}
+}
+
+// canAdmit is the single admission predicate: s's next prefill chunk
+// (under the given chunk budget; blocks must cover any prefix-cache hit
+// plus the chunk) must fit in free KV above the watermark with a
+// running slot available. Step 3 calls it with the iteration's
+// remaining budget and frozen watermark; preemptForUrgent calls it with
+// the full ChunkBudget and live watermark as a pre-plan estimate.
+func (e *Engine) canAdmit(s *seq, budget, watermark int) bool {
+	chunk := min(s.effInput-s.prefilled, budget)
+	need := e.alloc.BlocksFor(s.prefilled+chunk) - e.alloc.Holds(s.req.ID)
+	return e.alloc.FreeBlocks()-need >= watermark && len(e.running) < e.cfg.MaxSeqs
 }
 
 // shape converts a plan to the cost model's batch description.

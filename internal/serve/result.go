@@ -27,6 +27,44 @@ type RequestMetrics struct {
 	Preemptions int
 	// Rejected marks requests the engine could never serve.
 	Rejected bool
+	// Priority and SLO echo the request's scheduling inputs so results
+	// can be audited per class.
+	Priority int
+	SLO      *workload.SLO
+}
+
+// TTFTMet reports whether the request met its TTFT deadline. A
+// NoDeadline dimension can never be missed, not even by rejection;
+// every finite deadline is missed when the request was rejected or
+// carries no SLO.
+func (m RequestMetrics) TTFTMet() bool {
+	if m.SLO == nil {
+		return false
+	}
+	if m.SLO.TTFT == workload.NoDeadline {
+		return true
+	}
+	return !m.Rejected && m.TTFT <= m.SLO.TTFT
+}
+
+// TPOTMet reports whether the request met its TPOT deadline, with the
+// same NoDeadline convention as TTFTMet. A single-token response has no
+// inter-token interval, so it trivially meets any positive deadline —
+// but a zero deadline stays always-missed.
+func (m RequestMetrics) TPOTMet() bool {
+	if m.SLO == nil {
+		return false
+	}
+	if m.SLO.TPOT == workload.NoDeadline {
+		return true
+	}
+	if m.Rejected {
+		return false
+	}
+	if m.OutputTokens <= 1 {
+		return m.SLO.TPOT > 0
+	}
+	return m.TPOT <= m.SLO.TPOT
 }
 
 // metrics converts completed/rejected sequences into RequestMetrics.
@@ -39,6 +77,7 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 			TTFT:        s.firstTok - s.req.Arrival,
 			Completion:  s.finished - s.req.Arrival,
 			Preemptions: s.preempted,
+			Priority:    s.req.Priority, SLO: s.req.SLO,
 		}
 		if s.req.OutputTokens > 1 {
 			m.TPOT = (s.finished - s.firstTok) / time.Duration(s.req.OutputTokens-1)
@@ -49,7 +88,7 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 		out = append(out, RequestMetrics{
 			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.Arrival,
 			InputTokens: s.req.InputTokens, OutputTokens: s.req.OutputTokens,
-			Rejected: true,
+			Rejected: true, Priority: s.req.Priority, SLO: s.req.SLO,
 		})
 	}
 	return out
@@ -68,6 +107,13 @@ type Result struct {
 	Makespan    time.Duration
 	Rejected    int
 	Preemptions int
+	// SLOPreemptions counts evictions forced by at-risk TTFT deadlines
+	// (a subset of Preemptions).
+	SLOPreemptions int
+
+	// SLOByClass aggregates deadline attainment per request class, for
+	// the classes that carried an SLO.
+	SLOByClass map[string]*SLOAttainment
 
 	// Iteration accounting (summed across engines).
 	Iters      int
@@ -77,6 +123,31 @@ type Result struct {
 
 	// Events, when recorded, allow time-series plots (Figure 7).
 	Events []IterEvent
+}
+
+// SLOAttainment aggregates deadline outcomes for one request class.
+// Rejected requests miss every finite deadline; NoDeadline dimensions
+// are never missed.
+type SLOAttainment struct {
+	Requests int // finished requests that carried an SLO
+	Rejected int // rejected requests that carried an SLO
+	TTFTMet  int
+	TPOTMet  int
+}
+
+// TTFTRate returns the fraction of the class's SLO'd requests that met
+// their TTFT deadline (1 for an empty class: vacuously attained).
+func (a *SLOAttainment) TTFTRate() float64 { return a.rate(a.TTFTMet) }
+
+// TPOTRate returns the fraction that met their TPOT deadline.
+func (a *SLOAttainment) TPOTRate() float64 { return a.rate(a.TPOTMet) }
+
+func (a *SLOAttainment) rate(met int) float64 {
+	total := a.Requests + a.Rejected
+	if total == 0 {
+		return 1
+	}
+	return float64(met) / float64(total)
 }
 
 // Throughput returns combined tokens/second over the makespan.
@@ -103,8 +174,30 @@ func (r *Result) Summary() string {
 }
 
 func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Result {
-	r := &Result{Name: name, PerRequest: metrics}
+	r := &Result{Name: name, PerRequest: metrics, SLOByClass: map[string]*SLOAttainment{}}
+	att := func(class string) *SLOAttainment {
+		a := r.SLOByClass[class]
+		if a == nil {
+			a = &SLOAttainment{}
+			r.SLOByClass[class] = a
+		}
+		return a
+	}
 	for _, m := range metrics {
+		if m.SLO != nil {
+			a := att(m.Class)
+			if m.Rejected {
+				a.Rejected++
+			} else {
+				a.Requests++
+			}
+			if m.TTFTMet() {
+				a.TTFTMet++
+			}
+			if m.TPOTMet() {
+				a.TPOTMet++
+			}
+		}
 		if m.Rejected {
 			r.Rejected++
 			continue
@@ -124,6 +217,7 @@ func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Resu
 		r.Iters += e.iters
 		r.BaseIters += e.baseIters
 		r.ShiftIters += e.shiftIters
+		r.SLOPreemptions += e.sloPreempts
 		r.Cost.GEMM += e.cost.GEMM
 		r.Cost.Attn += e.cost.Attn
 		r.Cost.AllReduce += e.cost.AllReduce

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/workload"
+)
+
+// ReplicaView is what a Router sees about one replica when placing a
+// request: the work already assigned to it and its KV budget. Routing
+// happens at arrival time against assigned work — replicas share nothing
+// afterwards, exactly like independent vLLM servers behind a balancer —
+// so the view reflects load handed out, not simulated progress.
+type ReplicaView struct {
+	Index int
+	Name  string
+	// OutstandingTokens is the total input+output tokens of requests
+	// already assigned to this replica.
+	OutstandingTokens int
+	// OutstandingRequests counts requests already assigned.
+	OutstandingRequests int
+	// KVCapacityTokens is the replica's total paged-KV budget. It differs
+	// across replicas in heterogeneous fleets (different parallelism or
+	// stacks leave different free memory).
+	KVCapacityTokens int
+	// FreeKVTokens is KVCapacityTokens minus the peak KV demand
+	// (TotalTokens) of the assigned work. It can go negative when the
+	// replica is oversubscribed.
+	FreeKVTokens int
+}
+
+// Router places each arriving request on a replica. Route is called in
+// arrival order and must be deterministic: equal-score ties break toward
+// the lowest replica index in every built-in policy, so a run is
+// reproducible bit-for-bit. Routers holding per-run state additionally
+// implement reset(), which Cluster.Run calls before routing so repeated
+// runs of one cluster assign identically.
+type Router interface {
+	Name() string
+	// Route returns the index of the replica that receives r. Returning
+	// an out-of-range index is a cluster error.
+	Route(r workload.Request, replicas []ReplicaView) int
+}
+
+// --- Round-robin ---
+
+// resettable marks routers with per-run state; routeTrace resets them
+// before routing a trace.
+type resettable interface{ reset() }
+
+type roundRobin struct{ next int }
+
+// NewRoundRobinRouter cycles through replicas in index order, ignoring
+// load. A uniform trace spreads within ±1 request per replica.
+func NewRoundRobinRouter() Router { return &roundRobin{} }
+
+func (*roundRobin) Name() string { return "round-robin" }
+
+func (rr *roundRobin) reset() { rr.next = 0 }
+
+func (rr *roundRobin) Route(_ workload.Request, replicas []ReplicaView) int {
+	i := rr.next % len(replicas)
+	rr.next++
+	return i
+}
+
+// --- Least outstanding tokens ---
+
+type leastOutstanding struct{}
+
+// NewLeastOutstandingRouter picks the replica with the fewest assigned
+// tokens, ties to the lowest index. This is the cluster default and
+// reproduces the pre-Router Cluster.Run assignment exactly (guarded by a
+// regression test).
+func NewLeastOutstandingRouter() Router { return leastOutstanding{} }
+
+func (leastOutstanding) Name() string { return "least-outstanding" }
+
+func (leastOutstanding) Route(_ workload.Request, replicas []ReplicaView) int {
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		if replicas[i].OutstandingTokens < replicas[best].OutstandingTokens {
+			best = i
+		}
+	}
+	return best
+}
+
+// --- Join shortest KV ---
+
+type joinShortestKV struct{}
+
+// NewJoinShortestKVRouter picks the replica with the most free simulated
+// KV tokens, ties to the lowest index. On homogeneous fleets it degrades
+// to least-outstanding; on heterogeneous fleets it weights placement by
+// each replica's actual KV budget, steering work toward replicas with
+// memory headroom instead of merely short queues.
+func NewJoinShortestKVRouter() Router { return joinShortestKV{} }
+
+func (joinShortestKV) Name() string { return "join-shortest-kv" }
+
+func (joinShortestKV) Route(_ workload.Request, replicas []ReplicaView) int {
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		if replicas[i].FreeKVTokens > replicas[best].FreeKVTokens {
+			best = i
+		}
+	}
+	return best
+}
+
+// --- Session/prefix affinity ---
+
+type affinity struct{ fallback Router }
+
+// NewAffinityRouter hashes the request's Session key so all requests of
+// one multi-turn session land on the same replica — the replica holding
+// that session's prefix cache, which is what agentic traffic wants.
+// Sessionless requests (empty Session, e.g. one-shot batch jobs) fall
+// back to least-outstanding placement instead of piling onto one hash
+// bucket.
+func NewAffinityRouter() Router { return affinity{fallback: NewLeastOutstandingRouter()} }
+
+func (affinity) Name() string { return "affinity" }
+
+func (a affinity) Route(r workload.Request, replicas []ReplicaView) int {
+	if r.Session == "" {
+		return a.fallback.Route(r, replicas)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(r.Session))
+	return int(h.Sum32() % uint32(len(replicas)))
+}
+
+// builtinRouters is the single registry RouterNames and NewRouter both
+// derive from; new policies are added here once.
+var builtinRouters = []struct {
+	name string
+	make func() Router
+}{
+	{"round-robin", NewRoundRobinRouter},
+	{"least-outstanding", NewLeastOutstandingRouter},
+	{"join-shortest-kv", NewJoinShortestKVRouter},
+	{"affinity", NewAffinityRouter},
+}
+
+// RouterNames lists the built-in policies in presentation order.
+var RouterNames = func() []string {
+	names := make([]string, len(builtinRouters))
+	for i, r := range builtinRouters {
+		names[i] = r.name
+	}
+	return names
+}()
+
+// NewRouter returns a fresh instance of a built-in policy by name.
+func NewRouter(name string) (Router, error) {
+	for _, r := range builtinRouters {
+		if r.name == name {
+			return r.make(), nil
+		}
+	}
+	return nil, fmt.Errorf("serve: unknown router %q (have %v)", name, RouterNames)
+}
+
+// HeteroCluster builds a fleet from explicitly different replica configs
+// (heterogeneous parallelism, stacks, or models sharing a fleet), routed
+// by the cluster's Router like any other cluster.
+func HeteroCluster(name string, cfgs ...Config) Cluster {
+	configs := make([]Config, len(cfgs))
+	for i, c := range cfgs {
+		if c.Name == "" {
+			c.Name = fmt.Sprintf("%s-replica%d", name, i)
+		}
+		configs[i] = c
+	}
+	return Cluster{Name: name, Configs: configs}
+}

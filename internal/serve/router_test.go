@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// routerTrace is a mixed-size Poisson trace with per-request session
+// classes, exercising uneven load.
+func routerTrace(seed uint64, n int) *workload.Trace {
+	rng := tensor.NewRNG(seed)
+	reqs := make([]workload.Request, n)
+	at := time.Duration(0)
+	for i := range reqs {
+		at += time.Duration(rng.Float64() * float64(200*time.Millisecond))
+		session := fmt.Sprintf("session-%d", int(rng.Float64()*8))
+		reqs[i] = workload.Request{
+			ID: i, Arrival: at,
+			InputTokens:  256 + int(rng.Float64()*4096),
+			OutputTokens: 16 + int(rng.Float64()*256),
+			Class:        session, Session: session,
+		}
+	}
+	return &workload.Trace{Name: "router-mix", Requests: reqs}
+}
+
+func dpCfg(cm *perf.CostModel) Config {
+	return Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+}
+
+// routeWith assigns the trace across n clones of cfg under the router.
+func routeWith(t *testing.T, r Router, cfg Config, n int, tr *workload.Trace) [][]workload.Request {
+	t.Helper()
+	cfgs := make([]Config, n)
+	engines := make([]*Engine, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Name = fmt.Sprintf("r%d", i)
+		engines[i] = mustEngine(t, cfgs[i])
+	}
+	assigned, err := routeTrace(r, tr, cfgs, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return assigned
+}
+
+// Every router must assign every request exactly once (conservation).
+func TestRoutingConservation(t *testing.T) {
+	cm := llamaCM(t)
+	tr := routerTrace(7, 300)
+	for _, name := range RouterNames {
+		r, err := NewRouter(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assigned := routeWith(t, r, dpCfg(cm), 4, tr)
+		seen := map[int]int{}
+		for _, share := range assigned {
+			for _, req := range share {
+				seen[req.ID]++
+			}
+		}
+		if len(seen) != len(tr.Requests) {
+			t.Fatalf("%s: %d distinct requests routed, want %d", name, len(seen), len(tr.Requests))
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("%s: request %d assigned %d times", name, id, n)
+			}
+		}
+	}
+}
+
+// A 1-replica cluster must be byte-identical to SingleEngine under any
+// router — there is only one place to route to.
+func TestOneReplicaMatchesSingleEngineAnyRouter(t *testing.T) {
+	cm := llamaCM(t)
+	tr := routerTrace(11, 120)
+	base, err := SingleEngine("one", tp8Cfg(cm)).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range RouterNames {
+		r, err := NewRouter(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := SingleEngine("one", tp8Cfg(cm))
+		cl.Router = r
+		res, err := cl.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.PerRequest, base.PerRequest) {
+			t.Fatalf("%s: 1-replica cluster diverged from SingleEngine", name)
+		}
+	}
+}
+
+// Round-robin must spread a uniform trace within ±1 request per replica.
+func TestRoundRobinSpreadsUniformly(t *testing.T) {
+	cm := llamaCM(t)
+	for _, n := range []int{2, 3, 4, 7} {
+		assigned := routeWith(t, NewRoundRobinRouter(), dpCfg(cm), n, routerTrace(13, 101))
+		lo, hi := len(assigned[0]), len(assigned[0])
+		for _, share := range assigned {
+			if len(share) < lo {
+				lo = len(share)
+			}
+			if len(share) > hi {
+				hi = len(share)
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("%d replicas: share sizes range [%d, %d]", n, lo, hi)
+		}
+	}
+}
+
+// Affinity routing must keep all requests of one session on one replica.
+func TestAffinityKeepsSessionsTogether(t *testing.T) {
+	cm := llamaCM(t)
+	assigned := routeWith(t, NewAffinityRouter(), dpCfg(cm), 4, routerTrace(17, 200))
+	home := map[string]int{}
+	for i, share := range assigned {
+		for _, req := range share {
+			if prev, ok := home[req.Session]; ok && prev != i {
+				t.Fatalf("session %s split across replicas %d and %d", req.Session, prev, i)
+			}
+			home[req.Session] = i
+		}
+	}
+	if len(home) < 2 {
+		t.Fatalf("trace exercised only %d sessions", len(home))
+	}
+}
+
+// Affinity routing for sessionless requests falls back to load
+// balancing instead of hashing everything onto one replica.
+func TestAffinityEmptyClassFallsBack(t *testing.T) {
+	cm := llamaCM(t)
+	tr := routerTrace(19, 100)
+	for i := range tr.Requests {
+		tr.Requests[i].Session = ""
+	}
+	assigned := routeWith(t, NewAffinityRouter(), dpCfg(cm), 4, tr)
+	for i, share := range assigned {
+		if len(share) == 0 {
+			t.Fatalf("replica %d received nothing under fallback balancing", i)
+		}
+	}
+}
+
+// The default (nil) router must reproduce the pre-Router Cluster.Run
+// assignment exactly: least outstanding tokens, lowest index on ties.
+func TestLeastOutstandingMatchesLegacyAssignment(t *testing.T) {
+	cm := llamaCM(t)
+	tr := routerTrace(23, 400)
+	n := 4
+	assigned := routeWith(t, nil, dpCfg(cm), n, tr)
+
+	// The legacy routing loop, verbatim.
+	legacy := make([][]workload.Request, n)
+	outstanding := make([]int, n)
+	for _, r := range tr.Requests {
+		best := 0
+		for i := 1; i < n; i++ {
+			if outstanding[i] < outstanding[best] {
+				best = i
+			}
+		}
+		legacy[best] = append(legacy[best], r)
+		outstanding[best] += r.TotalTokens()
+	}
+	if !reflect.DeepEqual(assigned, legacy) {
+		t.Fatal("least-outstanding router diverged from the legacy assignment")
+	}
+}
+
+// Join-shortest-KV equals least-outstanding on homogeneous fleets but
+// weights placement by KV capacity on heterogeneous ones.
+func TestJoinShortestKVHeterogeneous(t *testing.T) {
+	cm := llamaCM(t)
+	tr := routerTrace(29, 300)
+
+	homoJSKV := routeWith(t, NewJoinShortestKVRouter(), dpCfg(cm), 3, tr)
+	homoLOT := routeWith(t, NewLeastOutstandingRouter(), dpCfg(cm), 3, tr)
+	if !reflect.DeepEqual(homoJSKV, homoLOT) {
+		t.Fatal("join-shortest-kv diverged from least-outstanding on a homogeneous fleet")
+	}
+
+	// Heterogeneous: one 2-GPU replica has far more KV than two 1-GPU
+	// ones; JSKV should hand it the largest share.
+	small := dpCfg(cm)
+	big := Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 2}}
+	cl := HeteroCluster("hetero", small, small, big)
+	cl.Router = NewJoinShortestKVRouter()
+	engines := make([]*Engine, len(cl.Configs))
+	for i, cfg := range cl.Configs {
+		engines[i] = mustEngine(t, cfg)
+	}
+	if engines[2].KVCapacityTokens() <= engines[0].KVCapacityTokens() {
+		t.Fatalf("test premise broken: big replica KV %d <= small %d",
+			engines[2].KVCapacityTokens(), engines[0].KVCapacityTokens())
+	}
+	assigned, err := routeTrace(cl.Router, tr, cl.Configs, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := func(share []workload.Request) int {
+		n := 0
+		for _, r := range share {
+			n += r.TotalTokens()
+		}
+		return n
+	}
+	if tokens(assigned[2]) <= tokens(assigned[0]) {
+		t.Fatalf("big replica got %d tokens, small got %d — capacity ignored",
+			tokens(assigned[2]), tokens(assigned[0]))
+	}
+
+	// And the heterogeneous cluster must simulate end to end.
+	res, err := cl.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == len(res.PerRequest) {
+		t.Fatal("heterogeneous cluster served nothing")
+	}
+}
+
+// An unknown policy name and an out-of-range router index are errors.
+func TestRouterErrors(t *testing.T) {
+	if _, err := NewRouter("nope"); err == nil {
+		t.Fatal("expected unknown-router error")
+	}
+	cm := llamaCM(t)
+	cl := SingleEngine("bad", tp8Cfg(cm))
+	cl.Router = badRouter{}
+	if _, err := cl.Run(routerTrace(31, 10)); err == nil {
+		t.Fatal("expected out-of-range routing error")
+	}
+}
+
+type badRouter struct{}
+
+func (badRouter) Name() string                              { return "bad" }
+func (badRouter) Route(workload.Request, []ReplicaView) int { return 99 }
+
+// Repeated Run calls on one cluster must assign identically even for
+// stateful routers: round-robin's cursor resets per run.
+func TestRoundRobinRepeatedRunsIdentical(t *testing.T) {
+	cm := llamaCM(t)
+	cl := DPCluster("rr", dpCfg(cm), 3)
+	cl.Lockstep = false
+	cl.Router = NewRoundRobinRouter()
+	a, err := cl.Run(routerTrace(41, 100)) // 100 % 3 != 0: cursor would drift
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Run(routerTrace(41, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.PerRequest, b.PerRequest) {
+		t.Fatal("round-robin assignment drifted between identical runs")
+	}
+}

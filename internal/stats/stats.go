@@ -105,6 +105,17 @@ func (s *Sample) Percentile(p float64) float64 {
 	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
 }
 
+// FracBelow returns the fraction of observations at or below v — the
+// empirical CDF, used for SLO-attainment curves ("what share of TTFTs
+// landed under the deadline"). Returns 0 for an empty sample.
+func (s *Sample) FracBelow(v float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sort()
+	return float64(sort.SearchFloat64s(s.vals, math.Nextafter(v, math.Inf(1)))) / float64(len(s.vals))
+}
+
 // Median returns the 50th percentile.
 func (s *Sample) Median() float64 { return s.Percentile(50) }
 

@@ -258,3 +258,20 @@ func TestValuesCopy(t *testing.T) {
 		t.Fatal("Values returned shared storage")
 	}
 }
+
+func TestFracBelow(t *testing.T) {
+	var empty Sample
+	if empty.FracBelow(10) != 0 {
+		t.Fatal("empty sample should report 0")
+	}
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	cases := map[float64]float64{0: 0, 1: 0.25, 2.5: 0.5, 4: 1, 100: 1}
+	for v, want := range cases {
+		if got := s.FracBelow(v); got != want {
+			t.Errorf("FracBelow(%v) = %v, want %v", v, got, want)
+		}
+	}
+}

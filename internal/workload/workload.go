@@ -13,6 +13,25 @@ import (
 	"repro/internal/tensor"
 )
 
+// NoDeadline is an SLO deadline the request does not care about: it can
+// never be missed and never makes the request urgent.
+const NoDeadline = time.Duration(math.MaxInt64)
+
+// SLO is a per-request latency target: a TTFT deadline (arrival to first
+// token) and a TPOT deadline (mean inter-token time). A zero deadline is
+// always missed; NoDeadline is never missed. The serving engine uses the
+// TTFT deadline to decide when a waiting request is at risk and may
+// preempt or defer lower-priority work for it; both deadlines feed the
+// per-class attainment metrics.
+type SLO struct {
+	TTFT time.Duration
+	TPOT time.Duration
+}
+
+// Deadline builds an SLO. Use NoDeadline for a dimension the request
+// does not care about.
+func Deadline(ttft, tpot time.Duration) *SLO { return &SLO{TTFT: ttft, TPOT: tpot} }
+
 // Request is one inference request.
 type Request struct {
 	ID      int
@@ -21,12 +40,39 @@ type Request struct {
 	InputTokens  int
 	OutputTokens int
 	// Class tags the request's origin (e.g. "interactive", "batch",
-	// "agentic"); informational.
+	// "agentic") for per-class reporting.
 	Class string
+	// Session optionally names the multi-turn session this request
+	// belongs to — the affinity router's key. Empty means sessionless:
+	// affinity routing falls back to load balancing for such requests.
+	Session string
+	// Priority orders requests inside an engine: higher runs first and is
+	// preempted last. The zero value (with a nil SLO) reproduces plain
+	// FIFO scheduling exactly.
+	Priority int
+	// SLO optionally attaches latency deadlines. nil means the request
+	// carries no deadline and never triggers SLO-aware scheduling.
+	SLO *SLO
 }
 
 // TotalTokens returns input+output, the unit of combined throughput.
 func (r Request) TotalTokens() int { return r.InputTokens + r.OutputTokens }
+
+// Urgent reports whether, at time now, the request's TTFT deadline is
+// at risk but still winnable: more than half the TTFT budget has
+// elapsed and the deadline has not passed. Once it has passed —
+// including the always-missed zero deadline — the request stops being
+// urgent, because preempting other work can no longer change the
+// outcome.
+func (r Request) Urgent(now time.Duration) bool {
+	if r.SLO == nil || r.SLO.TTFT <= 0 || r.SLO.TTFT == NoDeadline {
+		return false
+	}
+	elapsed := now - r.Arrival
+	// Strict at the deadline: a first token emitted any later than now
+	// already misses, so there is nothing left to rescue.
+	return elapsed >= r.SLO.TTFT/2 && elapsed < r.SLO.TTFT
+}
 
 // Trace is a time-ordered request stream.
 type Trace struct {
@@ -82,6 +128,19 @@ func sortAndNumber(name string, reqs []Request) *Trace {
 		reqs[i].ID = i
 	}
 	return &Trace{Name: name, Requests: reqs}
+}
+
+// Stamp sets Priority and SLO on every request whose Class equals class
+// (or on all requests when class is ""), returning the trace for
+// chaining. The SLO pointer is shared; engines treat it as read-only.
+func (t *Trace) Stamp(class string, priority int, slo *SLO) *Trace {
+	for i := range t.Requests {
+		if class == "" || t.Requests[i].Class == class {
+			t.Requests[i].Priority = priority
+			t.Requests[i].SLO = slo
+		}
+	}
+	return t
 }
 
 // Merge combines traces into one time-ordered trace.

@@ -212,3 +212,31 @@ func TestQuickGeneratorsProduceValidTraces(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUrgentWindow(t *testing.T) {
+	r := Request{Arrival: time.Second, SLO: Deadline(time.Second, 0)}
+	for now, want := range map[time.Duration]bool{
+		time.Second:                      false, // just arrived
+		1400 * time.Millisecond:          false, // under half the budget
+		1500 * time.Millisecond:          true,  // half the budget burned
+		2*time.Second - time.Millisecond: true,  // still winnable
+		2 * time.Second:                  false, // at the deadline: any later token misses
+		2*time.Second + time.Millisecond: false, // missed: no longer winnable
+	} {
+		if got := r.Urgent(now); got != want {
+			t.Errorf("Urgent at %v = %v, want %v", now, got, want)
+		}
+	}
+	if (Request{SLO: Deadline(0, 0)}).Urgent(time.Hour) {
+		t.Error("zero deadline must never be urgent")
+	}
+	if (Request{SLO: Deadline(0, 0)}).Urgent(0) {
+		t.Error("zero deadline must not be urgent at the arrival instant")
+	}
+	if (Request{SLO: Deadline(NoDeadline, 0)}).Urgent(time.Hour) {
+		t.Error("NoDeadline must never be urgent")
+	}
+	if (Request{}).Urgent(time.Hour) {
+		t.Error("nil SLO must never be urgent")
+	}
+}
