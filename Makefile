@@ -1,12 +1,12 @@
 # One-command verify + bench harness. `make ci` is what the tier-1
-# gate runs in spirit: formatting, vet, the full test suite under the
-# race detector, and a single pass of every benchmark.
+# gate runs in spirit: formatting, vet, the docs lint, the full test
+# suite under the race detector, and a single pass of every benchmark.
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench build
+.PHONY: ci fmt vet test race bench build docs
 
-ci: fmt vet race bench
+ci: fmt vet docs race bench
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,14 @@ race:
 # One iteration of every table/figure benchmark (quick scale).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Documentation lint: formatting, vet, and a package comment on every
+# internal package (godoc's "Package <name> ..." convention).
+docs: fmt vet
+	@missing=""; for d in internal/*; do \
+		grep -qs '^// Package ' $$d/*.go || missing="$$missing $$d"; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "missing package comment in:$$missing"; exit 1; \
+	fi
+	@echo "docs lint OK"

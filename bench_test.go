@@ -320,3 +320,15 @@ func BenchmarkCluster_HeteroRouting(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCluster_Autoscaling sweeps the autoscaler policies x
+// cold-start penalties on the bursty trace (cmd/burstbench's
+// provisioned-vs-attainment table).
+func BenchmarkCluster_Autoscaling(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Autoscaling(e, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

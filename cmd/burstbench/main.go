@@ -1,13 +1,19 @@
 // Command burstbench regenerates Figure 7 and Table 5: the bursty
 // synthetic workload on Llama-70B, comparing DP, TP, and Shift
 // Parallelism on median TTFT/TPOT and peak throughput, with an optional
-// throughput-over-time series (the bottom panel of Figure 7).
+// throughput-over-time series (the bottom panel of Figure 7). It then
+// sweeps the replica autoscaler policies x cold-start penalties on the
+// same bursty trace, reporting the SLO-attainment vs replica-seconds
+// (cost) trade-off per policy, with an optional per-interval fleet-size
+// timeline.
 //
 // Usage:
 //
 //	burstbench
-//	burstbench -series         # per-bucket throughput time series
-//	burstbench -bucket 10s     # series bucket width
+//	burstbench -series           # per-bucket throughput time series
+//	burstbench -bucket 10s       # series bucket width
+//	burstbench -timeline slo-feedback   # fleet-size timeline for a policy
+//	burstbench -autoscale=false  # skip the autoscaling sweep
 package main
 
 import (
@@ -26,6 +32,9 @@ func main() {
 	bucket := flag.Duration("bucket", 10*time.Second, "series bucket width")
 	quick := flag.Bool("quick", false, "reduced workload")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	autoscale := flag.Bool("autoscale", true, "run the autoscaler policy sweep")
+	timeline := flag.String("timeline", "", "print the fleet-size timeline for this autoscaler policy")
+	coldStart := flag.Duration("coldstart", 15*time.Second, "cold-start penalty for the -timeline run")
 	flag.Parse()
 
 	env := experiments.DefaultEnv()
@@ -60,5 +69,23 @@ func main() {
 			st.AddRow(time.Duration(i)*(*bucket), at("DP", i), at("TP", i), at("Shift", i))
 		}
 		fmt.Println(st)
+	}
+
+	if *autoscale {
+		fmt.Println("=== Autoscaling: policy x cold-start sweep (single-GPU Llama-70B replicas, fleet 2 in [2,8]) ===")
+		atab, err := experiments.Autoscaling(env, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(atab)
+	}
+
+	if *timeline != "" {
+		fmt.Printf("=== Fleet timeline: %s (cold start %v) ===\n", *timeline, *coldStart)
+		ttab, err := experiments.FleetTimeline(env, *timeline, *coldStart)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ttab)
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/perf"
@@ -317,5 +318,27 @@ func TestHeteroRouting(t *testing.T) {
 	}
 	if len(tab.Rows) != len(serve.RouterNames) {
 		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(serve.RouterNames))
+	}
+}
+
+func TestAutoscaling(t *testing.T) {
+	tab, err := Autoscaling(quickEnv(), []time.Duration{0, 15 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three static baselines plus one row per dynamic policy x cold start.
+	want := 3 + 2*(len(serve.AutoscalerNames)-1)
+	if len(tab.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), want)
+	}
+}
+
+func TestFleetTimeline(t *testing.T) {
+	tab, err := FleetTimeline(quickEnv(), "slo-feedback", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no fleet samples recorded")
 	}
 }

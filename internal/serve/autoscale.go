@@ -1,0 +1,724 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// DefaultScaleInterval is the autoscaler evaluation period when
+// AutoscaleConfig.Interval is zero.
+const DefaultScaleInterval = 5 * time.Second
+
+// FleetView is what an Autoscaler sees at one evaluation boundary: the
+// live composition of the fleet and signals measured from simulated
+// engine state (not assumed). Queue fields cover every live replica,
+// including draining ones whose backlog is still real work.
+type FleetView struct {
+	// Now is the evaluation time; Interval the evaluation period.
+	Now      time.Duration
+	Interval time.Duration
+	// Active counts replicas accepting new work; Warming counts spawned
+	// replicas still paying their cold-start penalty; Draining counts
+	// replicas finishing in-flight work before retiring.
+	Active   int
+	Warming  int
+	Draining int
+	// QueuedRequests counts routed requests not yet running (waiting in
+	// an engine queue or not yet admitted); QueuedTokens their combined
+	// input+output tokens; RunningRequests the in-flight sequences.
+	QueuedRequests  int
+	QueuedTokens    int
+	RunningRequests int
+	// ArrivedInInterval counts requests routed since the last evaluation.
+	ArrivedInInterval int
+	// WindowSLORequests counts SLO-carrying requests that completed (or
+	// were rejected) since the last evaluation; WindowTTFTMet how many of
+	// them met their TTFT deadline — the feedback signal for
+	// attainment-driven policies.
+	WindowSLORequests int
+	WindowTTFTMet     int
+}
+
+// Provisioned returns the replicas currently paid for: active, warming,
+// and draining.
+func (v FleetView) Provisioned() int { return v.Active + v.Warming + v.Draining }
+
+// Autoscaler decides the fleet's target size at each evaluation
+// boundary. Desired returns the wanted number of active+warming replicas
+// given the view; the cluster clamps it to [Min, Max], spawns the
+// difference with a cold-start penalty, or drains the excess. Policies
+// holding per-run state implement reset() (like routers) so repeated
+// runs are reproducible.
+type Autoscaler interface {
+	Name() string
+	Desired(v FleetView) int
+}
+
+// --- Static baseline ---
+
+// StaticAutoscaler pins the fleet at its current size: the fixed-fleet
+// baseline, reproducing a plain (non-autoscaled) cluster run bit-for-bit
+// (guarded by a regression test).
+type StaticAutoscaler struct{}
+
+// NewStaticAutoscaler returns the fixed-fleet baseline policy.
+func NewStaticAutoscaler() Autoscaler { return StaticAutoscaler{} }
+
+// Name implements Autoscaler.
+func (StaticAutoscaler) Name() string { return "static" }
+
+// Desired implements Autoscaler: always the current provisioned target.
+func (StaticAutoscaler) Desired(v FleetView) int { return v.Active + v.Warming }
+
+// --- Queue-depth threshold ---
+
+// QueueDepthAutoscaler scales on backlog: when the queued requests per
+// provisioned replica cross High it adds Step replicas, and when they
+// fall to Low it removes one. It reacts before SLOs are missed (queue
+// depth is a leading indicator) but flaps under on/off bursts, paying
+// repeated cold starts — exactly the trade the autoscaling experiment
+// measures against the feedback policy.
+type QueueDepthAutoscaler struct {
+	// High is the queued-requests-per-replica threshold that adds Step
+	// replicas; Low the threshold that removes one.
+	High float64
+	Low  float64
+	// Step is the scale-up increment.
+	Step int
+}
+
+// NewQueueDepthAutoscaler returns the queue-depth policy with its
+// defaults: grow by 1 above 4 queued per replica (a few seconds of
+// backlog at typical request service times), shrink below 1.
+func NewQueueDepthAutoscaler() Autoscaler {
+	return &QueueDepthAutoscaler{High: 4, Low: 1, Step: 1}
+}
+
+// Name implements Autoscaler.
+func (*QueueDepthAutoscaler) Name() string { return "queue-depth" }
+
+// Desired implements Autoscaler.
+func (a *QueueDepthAutoscaler) Desired(v FleetView) int {
+	cur := v.Active + v.Warming
+	if cur < 1 {
+		cur = 1
+	}
+	per := float64(v.QueuedRequests) / float64(cur)
+	if per >= a.High {
+		return cur + a.Step
+	}
+	if per <= a.Low {
+		return cur - 1
+	}
+	return cur
+}
+
+// --- SLO-attainment feedback with hysteresis ---
+
+// SLOFeedbackAutoscaler scales on measured TTFT attainment over the last
+// evaluation window: below Target it grows, and it shrinks only when
+// attainment sits at/above Relax with an empty queue — the [Target,
+// Relax) band is the hysteresis that keeps marginal fleets from
+// flapping. After any change it holds for Cooldown evaluations so the
+// new replica's cold start (and its effect on attainment) is observed
+// before acting again.
+type SLOFeedbackAutoscaler struct {
+	// Target is the attainment floor that triggers growth; Relax the
+	// ceiling required (with an empty queue) before shrinking.
+	Target float64
+	Relax  float64
+	// Cooldown is the number of evaluations to hold after a change.
+	Cooldown int
+
+	hold int
+}
+
+// NewSLOFeedbackAutoscaler returns the feedback policy with its
+// defaults: grow under 90% attainment, shrink at 99%+, cooldown 3.
+func NewSLOFeedbackAutoscaler() Autoscaler {
+	return &SLOFeedbackAutoscaler{Target: 0.90, Relax: 0.99, Cooldown: 3}
+}
+
+// Name implements Autoscaler.
+func (*SLOFeedbackAutoscaler) Name() string { return "slo-feedback" }
+
+func (a *SLOFeedbackAutoscaler) reset() { a.hold = 0 }
+
+// Desired implements Autoscaler.
+func (a *SLOFeedbackAutoscaler) Desired(v FleetView) int {
+	cur := v.Active + v.Warming
+	if a.hold > 0 {
+		a.hold--
+		return cur
+	}
+	att := 1.0
+	if v.WindowSLORequests > 0 {
+		att = float64(v.WindowTTFTMet) / float64(v.WindowSLORequests)
+	}
+	if att < a.Target {
+		a.hold = a.Cooldown
+		return cur + 1
+	}
+	if att >= a.Relax && v.QueuedRequests == 0 {
+		a.hold = a.Cooldown
+		return cur - 1
+	}
+	return cur
+}
+
+// builtinAutoscalers is the single registry AutoscalerNames and
+// NewAutoscaler both derive from; new policies are added here once.
+var builtinAutoscalers = []struct {
+	name string
+	make func() Autoscaler
+}{
+	{"static", NewStaticAutoscaler},
+	{"queue-depth", NewQueueDepthAutoscaler},
+	{"slo-feedback", NewSLOFeedbackAutoscaler},
+}
+
+// AutoscalerNames lists the built-in policies in presentation order.
+var AutoscalerNames = func() []string {
+	names := make([]string, len(builtinAutoscalers))
+	for i, a := range builtinAutoscalers {
+		names[i] = a.name
+	}
+	return names
+}()
+
+// NewAutoscaler returns a fresh instance of a built-in policy by name.
+func NewAutoscaler(name string) (Autoscaler, error) {
+	for _, a := range builtinAutoscalers {
+		if a.name == name {
+			return a.make(), nil
+		}
+	}
+	return nil, fmt.Errorf("serve: unknown autoscaler %q (have %v)", name, AutoscalerNames)
+}
+
+// AutoscaleConfig attaches replica autoscaling to a cluster: Cluster.Run
+// then grows and shrinks the fleet at each evaluation interval instead
+// of serving the whole trace on the initial replicas.
+type AutoscaleConfig struct {
+	// Scaler is the policy; nil means the static baseline.
+	Scaler Autoscaler
+	// Interval is the evaluation period; 0 means DefaultScaleInterval.
+	Interval time.Duration
+	// ColdStart is the provision-to-ready penalty charged to every
+	// spawned replica (model load + KV warmup): the replica is paid for
+	// from its spawn instant but accepts no work until the penalty
+	// elapses. 0 models pre-warmed standby capacity.
+	ColdStart time.Duration
+	// Min and Max bound the provisioned (active+warming) fleet.
+	// Zero values default to Min=1 and Max=4x the initial fleet.
+	Min, Max int
+	// Template is the config spawned replicas are built from; nil uses
+	// the cluster's first config. Spawned replicas get generated names.
+	Template *Config
+}
+
+func (ac AutoscaleConfig) withDefaults(initial int) AutoscaleConfig {
+	if ac.Scaler == nil {
+		ac.Scaler = NewStaticAutoscaler()
+	}
+	if ac.Interval <= 0 {
+		ac.Interval = DefaultScaleInterval
+	}
+	if ac.Min <= 0 {
+		ac.Min = 1
+	}
+	if ac.Max <= 0 {
+		ac.Max = 4 * initial
+	}
+	return ac
+}
+
+func (ac AutoscaleConfig) validate(initial int) error {
+	if ac.ColdStart < 0 {
+		return fmt.Errorf("serve: negative cold start %v", ac.ColdStart)
+	}
+	if ac.Max < ac.Min {
+		return fmt.Errorf("serve: autoscale Max %d < Min %d", ac.Max, ac.Min)
+	}
+	if initial > ac.Max || initial < ac.Min {
+		return fmt.Errorf("serve: initial fleet %d outside autoscale bounds [%d, %d]", initial, ac.Min, ac.Max)
+	}
+	return nil
+}
+
+// stepUntil advances the engine to the horizon, running the exact
+// admission/schedule/price/apply loop of Run but never starting an
+// iteration at or past the horizon — so the autoscale controller can
+// inject routed arrivals and scaling decisions at event boundaries
+// without perturbing engine behaviour (the static-baseline regression
+// test holds Cluster.Run and the autoscaled run bit-for-bit equal).
+// final promises that no further arrivals will be appended, enabling
+// Run's end-of-trace rejection of unadmittable waiters; without it an
+// idle engine parks at the horizon and waits for the controller.
+func (e *Engine) stepUntil(horizon time.Duration, final bool) {
+	for !e.finished() && e.now < horizon {
+		e.admit()
+		plan := e.schedule()
+		if plan.empty() {
+			if !final && len(e.running) == 0 && e.nextArrival() < 0 {
+				// Nothing can progress until the controller routes more
+				// work: park at the horizon.
+				e.now = horizon
+				return
+			}
+			if !e.resolveEmpty() {
+				// resolveEmpty leaves running empty, so an arrival is
+				// pending (else the engine would be finished or parked).
+				if a := e.nextArrival(); a < horizon {
+					e.now = a
+				} else {
+					e.now = horizon
+					return
+				}
+			}
+			continue
+		}
+		cost := e.price(&plan)
+		e.apply(plan, cost, e.now+cost.Total())
+	}
+}
+
+// replicaState tracks one replica through its autoscaled lifecycle.
+type replicaState int
+
+const (
+	replicaWarming replicaState = iota
+	replicaActive
+	replicaDraining
+	replicaRetired
+)
+
+// replica is the controller's record of one engine in the fleet.
+type replica struct {
+	id      int
+	engine  *Engine
+	state   replicaState
+	spawnAt time.Duration
+	readyAt time.Duration
+	drainAt time.Duration
+	// retireAt is set when the replica leaves the fleet (drain finished,
+	// warming cancelled, or end of run).
+	retireAt time.Duration
+	drained  bool
+	// Assigned-work counters feeding ReplicaView, cumulative like
+	// routeTrace's views (never decremented on completion). The
+	// handicaps level a spawned replica's view with the least-loaded
+	// incumbent at spawn time (see spawn); lifetime accounting uses the
+	// raw counters.
+	assignedTokens int
+	assignedReqs   int
+	tokenHandicap  int
+	reqHandicap    int
+	kvCapacity     int
+	// Window cursors over the engine's completed/rejected lists.
+	doneSeen int
+	rejSeen  int
+}
+
+// remaining counts routed-but-unfinished requests, the drain-victim
+// selection key.
+func (rep *replica) remaining() int {
+	e := rep.engine
+	return len(e.waiting) + len(e.running) + len(e.arrivals) - e.nextIdx
+}
+
+// fleetState is the autoscale controller's run state.
+type fleetState struct {
+	ac           AutoscaleConfig
+	name         string
+	recordEvents bool
+	replicas     []*replica
+	samples      []FleetSample
+	scaleUps     int
+	scaleDowns   int
+	arrivedInWin int
+	// draining marks the post-trace phase: no further arrivals exist, so
+	// scale-ups are suppressed (a replica spawned now could never receive
+	// work, only bill replica-seconds until the end of the run).
+	draining bool
+}
+
+func (f *fleetState) spawn(cfg Config, at, cold time.Duration) error {
+	id := len(f.replicas)
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("%s-replica%d", f.name, id)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	e.recordEvents = f.recordEvents
+	// The engine's clock starts at readiness so a spawned replica cannot
+	// serve a token before its warmup elapses.
+	e.now = at + cold
+	rep := &replica{
+		id: id, engine: e, spawnAt: at, readyAt: at + cold,
+		kvCapacity: e.KVCapacityTokens(), state: replicaWarming,
+	}
+	if cold == 0 {
+		rep.state = replicaActive
+	}
+	f.replicas = append(f.replicas, rep)
+	if rep.state == replicaActive {
+		f.level(rep)
+	}
+	return nil
+}
+
+// level handicaps a newly activated replica's router view to the
+// least-loaded incumbent. Views track cumulative assigned work
+// (arrival-time routing, PR 1 semantics), so a newcomer entering at
+// zero would look infinitely idle and least-outstanding routing would
+// funnel every subsequent request to it until it "caught up" with the
+// incumbents' lifetime totals. Levelling happens at readiness — not at
+// spawn — so traffic the incumbents absorbed during the cold start does
+// not reappear as a funnel the instant the newcomer warms up. Static
+// fleets never activate mid-run replicas, so the bit-for-bit baseline
+// is untouched.
+func (f *fleetState) level(rep *replica) {
+	first := true
+	for _, other := range f.replicas {
+		if other == rep || other.state != replicaActive {
+			continue
+		}
+		load := other.assignedTokens + other.tokenHandicap
+		if first || load < rep.tokenHandicap {
+			rep.tokenHandicap = load
+			rep.reqHandicap = other.assignedReqs + other.reqHandicap
+		}
+		first = false
+	}
+}
+
+// promote activates warming replicas whose cold start has elapsed,
+// levelling their router view with the incumbents at that instant.
+func (f *fleetState) promote(now time.Duration) {
+	for _, rep := range f.replicas {
+		if rep.state == replicaWarming && rep.readyAt <= now {
+			rep.state = replicaActive
+			f.level(rep)
+		}
+	}
+}
+
+// advance steps every live engine to the horizon and retires draining
+// replicas that have finished their in-flight work.
+func (f *fleetState) advance(horizon time.Duration, final bool) {
+	for _, rep := range f.replicas {
+		if rep.state == replicaRetired {
+			continue
+		}
+		rep.engine.stepUntil(horizon, final || rep.state == replicaDraining)
+		if rep.state == replicaDraining && rep.engine.finished() {
+			rep.state = replicaRetired
+			rep.retireAt = max(rep.drainAt, rep.engine.now)
+		}
+	}
+}
+
+func (f *fleetState) allDone() bool {
+	for _, rep := range f.replicas {
+		if rep.state != replicaRetired && !rep.engine.finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// route places one arriving request on an active replica. Views mirror
+// routeTrace's assigned-work semantics exactly, so a never-scaled fleet
+// routes identically to the plain path.
+func (f *fleetState) route(router Router, r workload.Request, now time.Duration) error {
+	f.promote(now)
+	var views []ReplicaView
+	var targets []*replica
+	for _, rep := range f.replicas {
+		if rep.state != replicaActive {
+			continue
+		}
+		views = append(views, ReplicaView{
+			Index: len(views), Name: rep.engine.cfg.Name,
+			OutstandingTokens:   rep.assignedTokens + rep.tokenHandicap,
+			OutstandingRequests: rep.assignedReqs + rep.reqHandicap,
+			KVCapacityTokens:    rep.kvCapacity,
+			FreeKVTokens:        rep.kvCapacity - rep.assignedTokens - rep.tokenHandicap,
+		})
+		targets = append(targets, rep)
+	}
+	i := router.Route(r, views)
+	if i < 0 || i >= len(targets) {
+		return fmt.Errorf("serve: router %s returned replica %d of %d", router.Name(), i, len(targets))
+	}
+	rep := targets[i]
+	rep.engine.arrivals = append(rep.engine.arrivals, r)
+	rep.assignedTokens += r.TotalTokens()
+	rep.assignedReqs++
+	f.arrivedInWin++
+	return nil
+}
+
+// view snapshots the fleet for the autoscaler, consuming the completion
+// window cursors.
+func (f *fleetState) view(now time.Duration) FleetView {
+	v := FleetView{Now: now, Interval: f.ac.Interval, ArrivedInInterval: f.arrivedInWin}
+	for _, rep := range f.replicas {
+		e := rep.engine
+		// Window attainment covers every replica, retired ones included:
+		// a drained replica's final completions still happened in this
+		// window, and omitting them would read as an attainment dip right
+		// after a scale-down. TTFTMet supplies the shared deadline
+		// semantics (NoDeadline is never missed, not even by rejection).
+		for _, s := range e.completed[rep.doneSeen:] {
+			if s.req.SLO != nil {
+				v.WindowSLORequests++
+				m := RequestMetrics{TTFT: s.firstTok - s.req.Arrival, SLO: s.req.SLO}
+				if m.TTFTMet() {
+					v.WindowTTFTMet++
+				}
+			}
+		}
+		rep.doneSeen = len(e.completed)
+		for _, s := range e.rejected[rep.rejSeen:] {
+			if s.req.SLO != nil {
+				v.WindowSLORequests++
+				m := RequestMetrics{Rejected: true, SLO: s.req.SLO}
+				if m.TTFTMet() {
+					v.WindowTTFTMet++
+				}
+			}
+		}
+		rep.rejSeen = len(e.rejected)
+
+		switch rep.state {
+		case replicaActive:
+			v.Active++
+		case replicaWarming:
+			v.Warming++
+		case replicaDraining:
+			v.Draining++
+		case replicaRetired:
+			continue
+		}
+		v.QueuedRequests += len(e.waiting) + len(e.arrivals) - e.nextIdx
+		v.RunningRequests += len(e.running)
+		for _, s := range e.waiting {
+			v.QueuedTokens += s.req.TotalTokens()
+		}
+		for _, r := range e.arrivals[e.nextIdx:] {
+			v.QueuedTokens += r.TotalTokens()
+		}
+	}
+	return v
+}
+
+// evaluate runs one autoscaler decision at an evaluation boundary.
+func (f *fleetState) evaluate(now time.Duration) error {
+	f.promote(now)
+	v := f.view(now)
+	desired := f.ac.Scaler.Desired(v)
+	if desired < f.ac.Min {
+		desired = f.ac.Min
+	}
+	if desired > f.ac.Max {
+		desired = f.ac.Max
+	}
+	cur := v.Active + v.Warming
+	if f.draining && desired > cur {
+		desired = cur
+	}
+	switch {
+	case desired > cur:
+		tmpl := f.ac.Template
+		if tmpl == nil {
+			tmpl = &f.replicas[0].engine.cfg
+		}
+		for n := desired - cur; n > 0; n-- {
+			cfg := *tmpl
+			cfg.Name = "" // spawn generates a fresh replica name
+			if err := f.spawn(cfg, now, f.ac.ColdStart); err != nil {
+				return err
+			}
+			f.scaleUps++
+		}
+	case desired < cur:
+		f.shrink(cur-desired, now)
+	}
+	// Sample the post-decision fleet: this is the per-interval fleet-size
+	// series Result reports.
+	s := FleetSample{At: now, Desired: desired, QueuedRequests: v.QueuedRequests}
+	for _, rep := range f.replicas {
+		switch rep.state {
+		case replicaActive:
+			s.Active++
+		case replicaWarming:
+			s.Warming++
+		case replicaDraining:
+			s.Draining++
+		}
+	}
+	f.samples = append(f.samples, s)
+	f.arrivedInWin = 0
+	return nil
+}
+
+// shrink retires n replicas: warming ones are cancelled newest-first
+// (they hold no work), then active ones drain — each finishes its
+// in-flight requests before retiring, chosen by least remaining work
+// with ties to the newest replica. At least one active replica always
+// survives so arriving traffic has somewhere to land.
+func (f *fleetState) shrink(n int, now time.Duration) {
+	for i := len(f.replicas) - 1; i >= 0 && n > 0; i-- {
+		rep := f.replicas[i]
+		if rep.state == replicaWarming {
+			rep.state = replicaRetired
+			rep.drainAt, rep.retireAt, rep.drained = now, now, true
+			f.scaleDowns++
+			n--
+		}
+	}
+	for ; n > 0; n-- {
+		active := 0
+		var victim *replica
+		for _, rep := range f.replicas {
+			if rep.state != replicaActive {
+				continue
+			}
+			active++
+			if victim == nil || rep.remaining() < victim.remaining() ||
+				(rep.remaining() == victim.remaining() && rep.id > victim.id) {
+				victim = rep
+			}
+		}
+		if active <= 1 {
+			return
+		}
+		victim.drainAt, victim.drained = now, true
+		f.scaleDowns++
+		if victim.engine.finished() {
+			victim.state = replicaRetired
+			victim.retireAt = now
+		} else {
+			victim.state = replicaDraining
+		}
+	}
+}
+
+// finish retires surviving replicas at the run's makespan and fills the
+// fleet-accounting fields of the result. ReplicaSeconds is the sum of
+// provisioned lifetimes, which equals the integral of fleet size over
+// time by construction (each replica contributes retire-spawn). Every
+// lifetime is clamped to the makespan so billing ends at the same
+// instant for every policy: a replica shed at a post-makespan drain
+// tick must not be billed longer than one that was simply kept.
+func (f *fleetState) finish(res *Result) {
+	res.Replicas = res.Replicas[:0]
+	res.ReplicaSeconds = 0
+	for _, rep := range f.replicas {
+		if rep.state != replicaRetired {
+			rep.state = replicaRetired
+			rep.retireAt = res.Makespan
+		}
+		if rep.retireAt > res.Makespan {
+			rep.retireAt = res.Makespan
+		}
+		if rep.retireAt < rep.spawnAt {
+			rep.retireAt = rep.spawnAt
+		}
+		res.Replicas = append(res.Replicas, ReplicaLife{
+			Name: rep.engine.cfg.Name, SpawnAt: rep.spawnAt, ReadyAt: rep.readyAt,
+			RetireAt: rep.retireAt, Drained: rep.drained,
+			AssignedRequests: rep.assignedReqs,
+		})
+		res.ReplicaSeconds += (rep.retireAt - rep.spawnAt).Seconds()
+	}
+	res.FleetSamples = f.samples
+	res.ScaleUps = f.scaleUps
+	res.ScaleDowns = f.scaleDowns
+}
+
+// runAutoscaled replays the trace under the cluster's AutoscaleConfig:
+// requests are routed at arrival time over the replicas active at that
+// instant, the autoscaler is evaluated every Interval against measured
+// fleet state, spawned replicas charge the cold-start penalty before
+// accepting work, and drained replicas finish in-flight requests before
+// retiring. With the static policy (and no scaling events) the run is
+// bit-for-bit identical to the plain Cluster.Run path.
+func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Lockstep {
+		// Even a one-replica lockstep cluster must error: scaling it up
+		// would silently drop the DP lockstep semantics the caller asked
+		// for (spawned replicas run on independent clocks).
+		return nil, fmt.Errorf("serve: autoscaling requires independent replicas (Lockstep=false)")
+	}
+	ac := c.Autoscale.withDefaults(len(c.Configs))
+	if err := ac.validate(len(c.Configs)); err != nil {
+		return nil, err
+	}
+	router := c.Router
+	if router == nil {
+		router = NewLeastOutstandingRouter()
+	}
+	if r, ok := router.(resettable); ok {
+		r.reset()
+	}
+	if r, ok := ac.Scaler.(resettable); ok {
+		r.reset()
+	}
+
+	fleet := &fleetState{ac: ac, name: c.Name, recordEvents: c.RecordEvents}
+	for _, cfg := range c.Configs {
+		// The initial fleet is pre-provisioned: ready at time zero.
+		if err := fleet.spawn(cfg, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	nextEval := ac.Interval
+	for _, r := range t.Requests {
+		for nextEval <= r.Arrival {
+			fleet.advance(nextEval, false)
+			if err := fleet.evaluate(nextEval); err != nil {
+				return nil, err
+			}
+			nextEval += ac.Interval
+		}
+		fleet.advance(r.Arrival, false)
+		if err := fleet.route(router, r, r.Arrival); err != nil {
+			return nil, err
+		}
+	}
+	// Drain: no further arrivals; keep evaluating so the policy can shed
+	// idle replicas (and their cost) while the backlog empties. Scale-ups
+	// are suppressed in this phase (see fleetState.draining).
+	fleet.draining = true
+	for !fleet.allDone() {
+		fleet.advance(nextEval, true)
+		if fleet.allDone() {
+			break
+		}
+		if err := fleet.evaluate(nextEval); err != nil {
+			return nil, err
+		}
+		nextEval += ac.Interval
+	}
+
+	var metrics []RequestMetrics
+	var engines []*Engine
+	for _, rep := range fleet.replicas {
+		metrics = append(metrics, rep.engine.metrics(nil)...)
+		engines = append(engines, rep.engine)
+	}
+	res := buildResult(c.Name, metrics, engines)
+	fleet.finish(res)
+	return res, nil
+}

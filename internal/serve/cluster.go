@@ -24,6 +24,10 @@ type Cluster struct {
 	// Router places arriving requests on replicas. nil uses
 	// least-outstanding-tokens, the historical default.
 	Router Router
+	// Autoscale, when set, grows and shrinks the replica fleet at run
+	// time instead of serving the whole trace on the initial Configs;
+	// see AutoscaleConfig. Requires Lockstep=false.
+	Autoscale *AutoscaleConfig
 }
 
 // DPCluster returns n data-parallel replicas of the config (each replica
@@ -55,8 +59,14 @@ func SingleEngine(name string, cfg Config) Cluster {
 // share on its own clock; with Lockstep=true the already-routed shares
 // are replayed on a shared clock where every global iteration lasts as
 // long as the slowest replica's step (vLLM DP engine semantics) — the
-// assignment itself is byte-identical in both modes.
+// assignment itself is byte-identical in both modes. With Autoscale set
+// the fleet additionally grows and shrinks at evaluation intervals (see
+// runAutoscaled); the static policy reproduces this fixed-fleet path
+// bit-for-bit.
 func (c Cluster) Run(t *workload.Trace) (*Result, error) {
+	if c.Autoscale != nil {
+		return c.runAutoscaled(t)
+	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

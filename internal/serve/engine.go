@@ -4,7 +4,11 @@
 // parallelism selection (TP, SP, combined, or Shift's threshold switch).
 // Iteration latencies come from the internal/perf cost model; requests
 // come from internal/workload traces. A Cluster composes several engines
-// for data parallelism with a load-balancing router.
+// for data parallelism with a load-balancing router, and can autoscale
+// the replica fleet at run time from queue-depth or SLO-attainment
+// signals, charging cold-start penalties and draining retired replicas
+// (see Autoscaler). docs/ARCHITECTURE.md walks through the lifecycle
+// and both extension points.
 package serve
 
 import (

@@ -31,6 +31,9 @@ type RequestMetrics struct {
 	// can be audited per class.
 	Priority int
 	SLO      *workload.SLO
+	// Replica names the engine that served (or rejected) the request,
+	// so autoscaled runs can audit placement against replica lifetimes.
+	Replica string
 }
 
 // TTFTMet reports whether the request met its TTFT deadline. A
@@ -78,6 +81,7 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 			Completion:  s.finished - s.req.Arrival,
 			Preemptions: s.preempted,
 			Priority:    s.req.Priority, SLO: s.req.SLO,
+			Replica: e.cfg.Name,
 		}
 		if s.req.OutputTokens > 1 {
 			m.TPOT = (s.finished - s.firstTok) / time.Duration(s.req.OutputTokens-1)
@@ -89,6 +93,7 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.Arrival,
 			InputTokens: s.req.InputTokens, OutputTokens: s.req.OutputTokens,
 			Rejected: true, Priority: s.req.Priority, SLO: s.req.SLO,
+			Replica: e.cfg.Name,
 		})
 	}
 	return out
@@ -123,7 +128,48 @@ type Result struct {
 
 	// Events, when recorded, allow time-series plots (Figure 7).
 	Events []IterEvent
+
+	// Fleet accounting. ReplicaSeconds integrates provisioned fleet size
+	// over time (for a fixed fleet: replicas x makespan); Replicas lists
+	// each replica's provisioned lifetime. Autoscaled runs additionally
+	// fill the per-interval FleetSamples series and the scale-event
+	// counters.
+	ReplicaSeconds float64
+	Replicas       []ReplicaLife
+	FleetSamples   []FleetSample
+	ScaleUps       int
+	ScaleDowns     int
 }
+
+// ReplicaLife records one replica's provisioned lifetime: spawned at
+// SpawnAt (billing starts), accepting work from ReadyAt (cold start
+// elapsed), released at RetireAt. Drained marks replicas retired by a
+// scale-down rather than end of run.
+type ReplicaLife struct {
+	Name     string
+	SpawnAt  time.Duration
+	ReadyAt  time.Duration
+	RetireAt time.Duration
+	Drained  bool
+	// AssignedRequests counts requests routed to the replica over its
+	// lifetime.
+	AssignedRequests int
+}
+
+// FleetSample is the fleet's composition right after one autoscaler
+// evaluation — the per-interval fleet-size series.
+type FleetSample struct {
+	At       time.Duration
+	Desired  int
+	Active   int
+	Warming  int
+	Draining int
+	// QueuedRequests is the backlog the decision saw.
+	QueuedRequests int
+}
+
+// Provisioned returns the replicas paid for at the sample instant.
+func (s FleetSample) Provisioned() int { return s.Active + s.Warming + s.Draining }
 
 // SLOAttainment aggregates deadline outcomes for one request class.
 // Rejected requests miss every finite deadline; NoDeadline dimensions
@@ -156,6 +202,43 @@ func (r *Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.TotalTokens) / r.Makespan.Seconds()
+}
+
+// MeanFleet returns the time-averaged provisioned fleet size
+// (ReplicaSeconds over the makespan).
+func (r *Result) MeanFleet() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.ReplicaSeconds / r.Makespan.Seconds()
+}
+
+// PeakFleet returns the largest provisioned fleet size over the run,
+// derived from replica lifetimes.
+func (r *Result) PeakFleet() int {
+	peak := 0
+	for _, a := range r.Replicas {
+		n := 0
+		for _, b := range r.Replicas {
+			if b.SpawnAt <= a.SpawnAt && a.SpawnAt < b.RetireAt {
+				n++
+			}
+		}
+		if n > peak {
+			peak = n
+		}
+	}
+	return peak
+}
+
+// CostPerMToken converts replica-seconds into dollars per million served
+// tokens at the given hourly per-replica price — the cost axis of the
+// provisioning-vs-attainment trade-off.
+func (r *Result) CostPerMToken(dollarsPerReplicaHour float64) float64 {
+	if r.TotalTokens == 0 {
+		return 0
+	}
+	return dollarsPerReplicaHour / 3600 * r.ReplicaSeconds / float64(r.TotalTokens) * 1e6
 }
 
 // ThroughputSeries buckets served tokens over time (Figure 7 bottom).
@@ -224,6 +307,12 @@ func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Resu
 		r.Cost.AllToAll += e.cost.AllToAll
 		r.Cost.Overhead += e.cost.Overhead
 		r.Events = append(r.Events, e.events...)
+	}
+	// Fixed-fleet accounting: every engine is provisioned for the whole
+	// run. Autoscaled runs overwrite these from replica lifetimes.
+	r.ReplicaSeconds = float64(len(engines)) * r.Makespan.Seconds()
+	for _, e := range engines {
+		r.Replicas = append(r.Replicas, ReplicaLife{Name: e.cfg.Name, RetireAt: r.Makespan})
 	}
 	return r
 }

@@ -119,7 +119,11 @@ type affinity struct{ fallback Router }
 // that session's prefix cache, which is what agentic traffic wants.
 // Sessionless requests (empty Session, e.g. one-shot batch jobs) fall
 // back to least-outstanding placement instead of piling onto one hash
-// bucket.
+// bucket. Caveat: the mapping is hash-mod-fleet-size, so under
+// autoscaling a scale event changes the modulus and can remap ongoing
+// sessions to different replicas (losing their warmed prefixes);
+// consistent hashing over replica identities is future work tracked in
+// the ROADMAP.
 func NewAffinityRouter() Router { return affinity{fallback: NewLeastOutstandingRouter()} }
 
 func (affinity) Name() string { return "affinity" }
