@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench build docs
+.PHONY: ci fmt vet test race bench bench-json build docs
 
-ci: fmt vet docs race bench
+ci: fmt vet docs race bench bench-json
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,15 @@ race:
 # One iteration of every table/figure benchmark (quick scale).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Machine-readable sweep results: run the bench cmds with -json (quick
+# scale) and validate that the emitted BENCH_*.json files parse — the
+# accumulating perf trajectory.
+bench-json:
+	$(GO) run ./cmd/burstbench -quick -json > /dev/null
+	$(GO) run ./cmd/clusterbench -quick -json > /dev/null
+	$(GO) run ./cmd/geobench -quick -json > /dev/null
+	$(GO) run ./cmd/jsonlint BENCH_burstbench.json BENCH_clusterbench.json BENCH_geobench.json
 
 # Documentation lint: formatting, vet, and a package comment on every
 # internal package (godoc's "Package <name> ..." convention).

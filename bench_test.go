@@ -332,3 +332,15 @@ func BenchmarkCluster_Autoscaling(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCluster_Geo sweeps the geo routing policies x topology x
+// cold-start penalties over per-region autoscaled fleets
+// (cmd/geobench's spill-over break-even table).
+func BenchmarkCluster_Geo(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GeoServing(e, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

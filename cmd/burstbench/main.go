@@ -14,6 +14,7 @@
 //	burstbench -bucket 10s       # series bucket width
 //	burstbench -timeline slo-feedback   # fleet-size timeline for a policy
 //	burstbench -autoscale=false  # skip the autoscaling sweep
+//	burstbench -json             # also write BENCH_burstbench.json
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	autoscale := flag.Bool("autoscale", true, "run the autoscaler policy sweep")
 	timeline := flag.String("timeline", "", "print the fleet-size timeline for this autoscaler policy")
 	coldStart := flag.Duration("coldstart", 15*time.Second, "cold-start penalty for the -timeline run")
+	jsonOut := flag.Bool("json", false, "also write the printed tables as BENCH_burstbench.json")
 	flag.Parse()
 
 	env := experiments.DefaultEnv()
@@ -47,6 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(tab)
+	sections := []stats.Section{{Name: "fig7-table5", Table: tab}}
 
 	if *series {
 		fmt.Printf("=== Throughput over time (tok/s per %v bucket) ===\n", *bucket)
@@ -69,6 +72,7 @@ func main() {
 			st.AddRow(time.Duration(i)*(*bucket), at("DP", i), at("TP", i), at("Shift", i))
 		}
 		fmt.Println(st)
+		sections = append(sections, stats.Section{Name: "throughput-series", Table: st})
 	}
 
 	if *autoscale {
@@ -78,6 +82,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(atab)
+		sections = append(sections, stats.Section{Name: "autoscaling", Table: atab})
 	}
 
 	if *timeline != "" {
@@ -87,5 +92,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(ttab)
+		sections = append(sections, stats.Section{Name: "fleet-timeline", Table: ttab})
+	}
+
+	if *jsonOut {
+		const path = "BENCH_burstbench.json"
+		if err := stats.WriteJSON(path, sections); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
 	}
 }

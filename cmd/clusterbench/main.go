@@ -9,6 +9,7 @@
 //
 //	clusterbench
 //	clusterbench -replicas 2,4,8 -hetero
+//	clusterbench -json           # also write BENCH_clusterbench.json
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	replicas := flag.String("replicas", "", "comma-separated replica counts (default 4,8; quick 2,4)")
 	hetero := flag.Bool("hetero", false, "also sweep a heterogeneous 4x1-GPU + 2x2-GPU fleet")
+	jsonOut := flag.Bool("json", false, "also write the printed tables as BENCH_clusterbench.json")
 	flag.Parse()
 
 	env := experiments.DefaultEnv()
@@ -50,14 +53,23 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(tab)
+	sections := []stats.Section{{Name: "cluster-routing", Table: tab}}
 
-	if !*hetero {
-		return
+	if *hetero {
+		fmt.Println("=== Heterogeneous fleet: 4x (SP=1,TP=1) + 2x (SP=1,TP=2) ===")
+		ht, err := experiments.HeteroRouting(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ht)
+		sections = append(sections, stats.Section{Name: "hetero-routing", Table: ht})
 	}
-	fmt.Println("=== Heterogeneous fleet: 4x (SP=1,TP=1) + 2x (SP=1,TP=2) ===")
-	ht, err := experiments.HeteroRouting(env)
-	if err != nil {
-		log.Fatal(err)
+
+	if *jsonOut {
+		const path = "BENCH_clusterbench.json"
+		if err := stats.WriteJSON(path, sections); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
 	}
-	fmt.Println(ht)
 }

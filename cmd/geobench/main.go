@@ -1,0 +1,65 @@
+// Command geobench sweeps the multi-region geo serving tier: every geo
+// routing policy (nearest, least-loaded-global, SLO-aware spill-over) x
+// topology x cold-start penalty on the two-region bursty workload, with
+// per-region queue-depth autoscaling, against a consolidated
+// single-region baseline — the RTT-vs-cold-start break-even as a
+// measured table. With -breakdown it adds the per-region view (who
+// originated, who served, what spilled) for one policy; with -json it
+// also writes the sweep as BENCH_geobench.json.
+//
+// Usage:
+//
+//	geobench
+//	geobench -breakdown spill-over -coldstart 60s
+//	geobench -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", false, "reduced workload")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	breakdown := flag.String("breakdown", "", "print the per-region breakdown for this geo policy")
+	coldStart := flag.Duration("coldstart", 60*time.Second, "cold-start penalty for the -breakdown run")
+	jsonOut := flag.Bool("json", false, "also write the sweep as BENCH_geobench.json")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	env.Seed = *seed
+
+	fmt.Println("=== Geo serving: policy x topology x cold-start sweep (per-region queue-depth fleets, 2 in [2,8]) ===")
+	tab, err := experiments.GeoServing(env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+	sections := []stats.Section{{Name: "geo-serving", Table: tab}}
+
+	if *breakdown != "" {
+		fmt.Printf("=== Region breakdown: %s (cold start %v) ===\n", *breakdown, *coldStart)
+		btab, err := experiments.GeoRegionBreakdown(env, *breakdown, *coldStart)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(btab)
+		sections = append(sections, stats.Section{Name: "region-breakdown", Table: btab})
+	}
+
+	if *jsonOut {
+		const path = "BENCH_geobench.json"
+		if err := stats.WriteJSON(path, sections); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -1,0 +1,55 @@
+// Command jsonlint validates the BENCH_*.json files the bench binaries
+// emit under -json: each must parse and contain at least one named
+// section with a non-empty table. `make bench-json` runs it after the
+// bench commands so CI fails on malformed perf output.
+//
+// Usage:
+//
+//	jsonlint BENCH_burstbench.json BENCH_clusterbench.json ...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		log.Fatal("usage: jsonlint FILE.json ...")
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var doc struct {
+			Sections []stats.Section `json:"sections"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			log.Fatalf("%s: does not parse: %v", path, err)
+		}
+		if len(doc.Sections) == 0 {
+			log.Fatalf("%s: no sections", path)
+		}
+		for _, s := range doc.Sections {
+			if s.Name == "" || s.Table == nil {
+				log.Fatalf("%s: incomplete section %+v", path, s)
+			}
+			if len(s.Table.Header) == 0 || len(s.Table.Rows) == 0 {
+				log.Fatalf("%s: section %s has an empty table", path, s.Name)
+			}
+			for i, row := range s.Table.Rows {
+				if len(row) != len(s.Table.Header) {
+					log.Fatalf("%s: section %s row %d has %d cells for %d columns",
+						path, s.Name, i, len(row), len(s.Table.Header))
+				}
+			}
+		}
+		fmt.Printf("%s: ok (%d sections)\n", path, len(doc.Sections))
+	}
+}

@@ -342,3 +342,26 @@ func TestFleetTimeline(t *testing.T) {
 		t.Fatal("no fleet samples recorded")
 	}
 }
+
+func TestGeoServing(t *testing.T) {
+	tab, err := GeoServing(quickEnv(), []time.Duration{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One topology in quick mode: a single-region baseline row plus one
+	// row per geo policy.
+	want := 1 + len(serve.GeoRouterNames)
+	if len(tab.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), want)
+	}
+}
+
+func TestGeoRegionBreakdown(t *testing.T) {
+	tab, err := GeoRegionBreakdown(quickEnv(), "spill-over", 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per region", len(tab.Rows))
+	}
+}

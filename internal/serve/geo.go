@@ -1,0 +1,673 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// This file is the multi-region geo serving tier: a second routing layer
+// over per-region autoscaled fleets. A Geo deployment owns a Topology
+// (validated inter-region RTT matrix) and one Region per topology entry;
+// each arriving request is first placed on a region by a GeoRouter, then
+// on a replica by that region's local Router, and finally pays the
+// origin→region round trip on top of its TTFT and completion when it was
+// served remotely. A single-region Geo with the static autoscaler
+// reproduces Cluster.Run with Autoscale bit-for-bit (regression-tested),
+// so the tier is a strict superset of the single-fleet path.
+
+// Topology is the named-region set and its inter-region RTT matrix.
+// RTT[i][j] is the full round trip a request arriving in region i pays
+// when served by region j; the matrix must be square, symmetric, zero on
+// the diagonal, and non-negative.
+type Topology struct {
+	Regions []string
+	RTT     [][]time.Duration
+}
+
+// SingleRegion returns the one-region topology (no remote option): the
+// geo tier degenerates to the plain autoscaled-cluster path.
+func SingleRegion(name string) Topology {
+	return Topology{Regions: []string{name}, RTT: [][]time.Duration{{0}}}
+}
+
+// UniformTopology returns a topology where every distinct pair of
+// regions is rtt apart — the symmetric two- or three-datacenter case.
+func UniformTopology(rtt time.Duration, names ...string) Topology {
+	m := make([][]time.Duration, len(names))
+	for i := range m {
+		m[i] = make([]time.Duration, len(names))
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = rtt
+			}
+		}
+	}
+	return Topology{Regions: names, RTT: m}
+}
+
+// Validate checks the matrix invariants.
+func (t Topology) Validate() error {
+	if len(t.Regions) == 0 {
+		return fmt.Errorf("serve: topology has no regions")
+	}
+	seen := map[string]bool{}
+	for _, name := range t.Regions {
+		if name == "" {
+			return fmt.Errorf("serve: topology has an unnamed region")
+		}
+		if seen[name] {
+			return fmt.Errorf("serve: duplicate region %q", name)
+		}
+		seen[name] = true
+	}
+	if len(t.RTT) != len(t.Regions) {
+		return fmt.Errorf("serve: RTT matrix has %d rows for %d regions", len(t.RTT), len(t.Regions))
+	}
+	for i, row := range t.RTT {
+		if len(row) != len(t.Regions) {
+			return fmt.Errorf("serve: RTT row %d has %d entries for %d regions", i, len(row), len(t.Regions))
+		}
+		for j, d := range row {
+			switch {
+			case d < 0:
+				return fmt.Errorf("serve: negative RTT %v between %s and %s", d, t.Regions[i], t.Regions[j])
+			case i == j && d != 0:
+				return fmt.Errorf("serve: region %s has non-zero self-RTT %v", t.Regions[i], d)
+			case d != t.RTT[j][i]:
+				return fmt.Errorf("serve: asymmetric RTT between %s and %s (%v vs %v)",
+					t.Regions[i], t.Regions[j], d, t.RTT[j][i])
+			}
+		}
+	}
+	return nil
+}
+
+// Index returns the position of a region name, -1 if absent.
+func (t Topology) Index(name string) int {
+	for i, n := range t.Regions {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Region is one geographic serving site: a named fleet with its own
+// local replica router and (optionally) its own autoscaler and capacity
+// bounds. A nil Autoscale pins the fleet at its initial size (the static
+// policy), so fixed-capacity regions and autoscaled ones mix freely in
+// one topology.
+type Region struct {
+	// Name must match the topology entry at the same index (or be empty
+	// to adopt it).
+	Name string
+	// Configs is the initial fleet; replicas run independently (the geo
+	// tier has no lockstep mode).
+	Configs []Config
+	// Router places requests on replicas inside the region; nil uses
+	// least-outstanding-tokens, the cluster default.
+	Router Router
+	// Autoscale optionally lets the region's fleet grow and shrink on
+	// local signals; nil means a fixed fleet. Regions must not share one
+	// stateful Autoscaler or Router instance.
+	Autoscale *AutoscaleConfig
+}
+
+// RegionView is what a GeoRouter sees about one region when placing a
+// request: live fleet composition and backlog (unlike ReplicaView's
+// cumulative assigned-work counters — regions run a controller, so live
+// queue state is observable the way it is at a real global load
+// balancer), plus the round trip from the request's origin.
+type RegionView struct {
+	Index int
+	Name  string
+	// RTT is the round trip from the request's origin region to this
+	// one; zero for the origin itself.
+	RTT time.Duration
+	// Fleet composition at the routing instant.
+	Active   int
+	Warming  int
+	Draining int
+	// QueuedRequests/QueuedTokens count routed-but-not-running work
+	// across the region's live replicas; RunningTokens the in-flight
+	// work. Both include draining replicas' backlogs (real work the
+	// region must still finish).
+	QueuedRequests int
+	QueuedTokens   int
+	RunningTokens  int
+	// NextReadyIn is the time until the next warming replica activates;
+	// negative when none is warming.
+	NextReadyIn time.Duration
+	// ColdStart is the region's configured spawn-to-ready penalty — what
+	// waiting for local scale-up costs.
+	ColdStart time.Duration
+	// MeasuredRate is the region's observed serving throughput in tokens
+	// per second per active replica, measured over the run so far (zero
+	// until the first completions land).
+	MeasuredRate float64
+}
+
+// GeoRouter places each arriving request on a region. Route is called in
+// arrival order and must be deterministic (ties break toward the
+// request's origin, then the lowest region index), mirroring the Router
+// contract one tier down.
+type GeoRouter interface {
+	Name() string
+	// Route returns the index of the serving region. origin is the index
+	// of the request's origin region (regions[origin].RTT == 0).
+	// Returning an out-of-range index is a run error.
+	Route(r workload.Request, origin int, regions []RegionView) int
+}
+
+// --- Nearest region ---
+
+type nearestRegion struct{}
+
+// NewNearestRegionRouter always serves in the lowest-RTT region — the
+// origin itself whenever it appears in the topology. This is the
+// locality baseline: zero WAN tax, but bursts and cold starts must be
+// absorbed entirely by the local fleet.
+func NewNearestRegionRouter() GeoRouter { return nearestRegion{} }
+
+func (nearestRegion) Name() string { return "nearest" }
+
+func (nearestRegion) Route(_ workload.Request, origin int, regions []RegionView) int {
+	best := origin
+	for i := range regions {
+		if regions[i].RTT < regions[best].RTT {
+			best = i
+		}
+	}
+	return best
+}
+
+// --- Least loaded global ---
+
+type leastLoadedGlobal struct{}
+
+// NewLeastLoadedGlobalRouter picks the region with the least live work
+// (queued + running tokens) per active replica, ignoring RTT entirely —
+// the global-balancer baseline. Ties break toward the origin, then the
+// lowest index. It wastes round trips when every region is quiet and
+// pays them back only under load imbalance.
+func NewLeastLoadedGlobalRouter() GeoRouter { return leastLoadedGlobal{} }
+
+func (leastLoadedGlobal) Name() string { return "least-loaded-global" }
+
+func (leastLoadedGlobal) Route(_ workload.Request, origin int, regions []RegionView) int {
+	score := func(v RegionView) float64 {
+		active := v.Active
+		if active < 1 {
+			active = 1
+		}
+		return float64(v.QueuedTokens+v.RunningTokens) / float64(active)
+	}
+	// Ascending scan with a strict improvement test: ties stay with the
+	// origin, then with the lowest already-chosen index.
+	best := origin
+	for i := range regions {
+		if i != origin && score(regions[i]) < score(regions[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// --- SLO-aware spill-over ---
+
+// SpillOverRouter serves locally unless the projected local wait — queue
+// drain time plus, when the local queue has crossed the scale-up
+// threshold, the cold start any local relief must pay — exceeds the
+// round trip plus projected wait of a remote region. This is the
+// RTT-vs-cold-start break-even the ROADMAP calls out: during a burst a
+// warm remote fleet an RTT away beats local capacity that is still 60
+// seconds from its first token.
+type SpillOverRouter struct {
+	// PriorRate floors the per-replica service-rate estimate (tokens/sec
+	// per active replica). The measured rate integrates idle time and so
+	// only ever underestimates capacity; the projection uses
+	// max(measured, prior). Calibrate it to the replica's saturated
+	// throughput on the deployment's request sizes.
+	PriorRate float64
+	// QueueHigh is the local queued-requests-per-active-replica level at
+	// or above which local relief is assumed to need a cold start (the
+	// autoscaler's scale-up territory).
+	QueueHigh float64
+}
+
+// NewSpillOverRouter returns the spill-over policy with its defaults: a
+// 5000 tok/s per-replica rate floor (a single-GPU Llama-70B replica's
+// measured peak on ~1k-token interactive requests) and the queue-depth
+// autoscaler's default scale-up threshold of 4 queued per replica.
+func NewSpillOverRouter() GeoRouter { return &SpillOverRouter{PriorRate: 5000, QueueHigh: 4} }
+
+// Name implements GeoRouter.
+func (*SpillOverRouter) Name() string { return "spill-over" }
+
+// wait projects how long a new arrival waits in the region: backlog
+// tokens — queued plus in-flight, since continuous batching admits a
+// burst into running long before queues form — over the service-rate
+// estimate times the active fleet.
+func (s *SpillOverRouter) wait(v RegionView) float64 {
+	rate := v.MeasuredRate
+	if rate < s.PriorRate {
+		rate = s.PriorRate
+	}
+	if rate <= 0 {
+		rate = 1 // defensive: a zero prior and no measurements
+	}
+	active := v.Active
+	if active < 1 {
+		active = 1
+	}
+	return float64(v.QueuedTokens+v.RunningTokens) / (rate * float64(active))
+}
+
+// Route implements GeoRouter.
+func (s *SpillOverRouter) Route(_ workload.Request, origin int, regions []RegionView) int {
+	local := regions[origin]
+	localCost := s.wait(local)
+	active := local.Active
+	if active < 1 {
+		active = 1
+	}
+	if float64(local.QueuedRequests)/float64(active) >= s.QueueHigh {
+		// The local queue is in scale-up territory: relief costs a cold
+		// start — or the remainder of one already under way.
+		pen := local.ColdStart
+		if local.NextReadyIn >= 0 && local.NextReadyIn < pen {
+			pen = local.NextReadyIn
+		}
+		localCost += pen.Seconds()
+	}
+	best, bestCost := origin, localCost
+	for i := range regions {
+		if i == origin {
+			continue
+		}
+		if c := regions[i].RTT.Seconds() + s.wait(regions[i]); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
+// builtinGeoRouters is the single registry GeoRouterNames and
+// NewGeoRouter both derive from; new policies are added here once.
+var builtinGeoRouters = []struct {
+	name string
+	make func() GeoRouter
+}{
+	{"nearest", NewNearestRegionRouter},
+	{"least-loaded-global", NewLeastLoadedGlobalRouter},
+	{"spill-over", NewSpillOverRouter},
+}
+
+// GeoRouterNames lists the built-in geo policies in presentation order.
+var GeoRouterNames = func() []string {
+	names := make([]string, len(builtinGeoRouters))
+	for i, r := range builtinGeoRouters {
+		names[i] = r.name
+	}
+	return names
+}()
+
+// NewGeoRouter returns a fresh instance of a built-in geo policy by name.
+func NewGeoRouter(name string) (GeoRouter, error) {
+	for _, r := range builtinGeoRouters {
+		if r.name == name {
+			return r.make(), nil
+		}
+	}
+	return nil, fmt.Errorf("serve: unknown geo router %q (have %v)", name, GeoRouterNames)
+}
+
+// Geo composes per-region fleets under a topology and a geo routing
+// policy — the multi-region serving tier.
+type Geo struct {
+	Name     string
+	Topology Topology
+	// Regions must align with Topology.Regions (same order, same names;
+	// empty Region.Name adopts the topology's).
+	Regions []Region
+	// Router picks the serving region per request; nil uses nearest.
+	Router GeoRouter
+	// RecordEvents enables per-iteration event capture on every engine.
+	RecordEvents bool
+}
+
+// regionRun is the geo controller's per-region state: the fleet, its
+// local router, its evaluation cursor, and the measured-throughput
+// estimate feeding RegionView.
+type regionRun struct {
+	name     string
+	fleet    *fleetState
+	router   Router
+	ac       AutoscaleConfig
+	nextEval time.Duration
+	// servedTokens accumulates completed input+output tokens via
+	// per-replica cursors (separate from the autoscaler's attainment
+	// window cursors, which view() consumes).
+	servedTokens int
+	servedSeen   []int
+	// activeSeconds integrates active-replica time between controller
+	// events, the denominator of the measured per-replica rate.
+	activeSeconds float64
+	lastAccrual   time.Duration
+}
+
+// accrue extends the active-replica-seconds integral to now, using the
+// composition at the start of the window (promotions and retirements
+// land on controller events, so the approximation error is at most one
+// event interval per transition).
+func (rr *regionRun) accrue(now time.Duration) {
+	if now <= rr.lastAccrual {
+		return
+	}
+	active := 0
+	for _, rep := range rr.fleet.replicas {
+		if rep.state == replicaActive {
+			active++
+		}
+	}
+	rr.activeSeconds += float64(active) * (now - rr.lastAccrual).Seconds()
+	rr.lastAccrual = now
+}
+
+// refreshServed advances the completion cursors, accumulating served
+// tokens for the measured-rate estimate.
+func (rr *regionRun) refreshServed() {
+	for i, rep := range rr.fleet.replicas {
+		if i >= len(rr.servedSeen) {
+			rr.servedSeen = append(rr.servedSeen, 0)
+		}
+		for _, s := range rep.engine.completed[rr.servedSeen[i]:] {
+			rr.servedTokens += s.req.TotalTokens()
+		}
+		rr.servedSeen[i] = len(rep.engine.completed)
+	}
+}
+
+// view snapshots the region for the geo router at the routing instant.
+func (rr *regionRun) view(now time.Duration) RegionView {
+	rr.fleet.promote(now)
+	rr.refreshServed()
+	v := RegionView{Name: rr.name, ColdStart: rr.ac.ColdStart, NextReadyIn: -1}
+	for _, rep := range rr.fleet.replicas {
+		switch rep.state {
+		case replicaActive:
+			v.Active++
+		case replicaWarming:
+			v.Warming++
+			if in := rep.readyAt - now; v.NextReadyIn < 0 || in < v.NextReadyIn {
+				v.NextReadyIn = in
+			}
+		case replicaDraining:
+			v.Draining++
+		case replicaRetired:
+			continue
+		}
+		e := rep.engine
+		v.QueuedRequests += len(e.waiting) + len(e.arrivals) - e.nextIdx
+		for _, s := range e.waiting {
+			v.QueuedTokens += s.req.TotalTokens()
+		}
+		for _, r := range e.arrivals[e.nextIdx:] {
+			v.QueuedTokens += r.TotalTokens()
+		}
+		for _, s := range e.running {
+			v.RunningTokens += s.req.TotalTokens()
+		}
+	}
+	if rr.activeSeconds > 0 {
+		v.MeasuredRate = float64(rr.servedTokens) / rr.activeSeconds
+	}
+	return v
+}
+
+// Run replays the trace through the geo tier. Each request is placed on
+// a region by the geo router (seeing live per-region fleet and backlog
+// state plus the origin's RTT row), then on a replica by that region's
+// local router under exactly the autoscaled-cluster semantics of
+// Cluster.Run — per-region fleets grow and shrink on their own local
+// signals and evaluation clocks. Remotely served requests pay the full
+// origin→region RTT on top of their TTFT and completion (inter-token
+// streaming pipelines over the WAN, so TPOT is untouched); attainment
+// and the Result samples are computed from the inflated values. A
+// one-region Geo reproduces the equivalent Cluster.Run bit-for-bit.
+func (g Geo) Run(t *workload.Trace) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if len(g.Regions) != len(g.Topology.Regions) {
+		return nil, fmt.Errorf("serve: %d regions for a %d-region topology",
+			len(g.Regions), len(g.Topology.Regions))
+	}
+	router := g.Router
+	if router == nil {
+		router = NewNearestRegionRouter()
+	}
+	if r, ok := router.(resettable); ok {
+		r.reset()
+	}
+
+	runs := make([]*regionRun, len(g.Regions))
+	for i, reg := range g.Regions {
+		name := g.Topology.Regions[i]
+		if reg.Name != "" && reg.Name != name {
+			return nil, fmt.Errorf("serve: region %d named %q, topology says %q", i, reg.Name, name)
+		}
+		if len(reg.Configs) == 0 {
+			return nil, fmt.Errorf("serve: region %s has no replicas", name)
+		}
+		var ac AutoscaleConfig
+		if reg.Autoscale != nil {
+			ac = *reg.Autoscale
+		}
+		ac = ac.withDefaults(len(reg.Configs))
+		if err := ac.validate(len(reg.Configs)); err != nil {
+			return nil, fmt.Errorf("serve: region %s: %w", name, err)
+		}
+		local := reg.Router
+		if local == nil {
+			local = NewLeastOutstandingRouter()
+		}
+		if r, ok := local.(resettable); ok {
+			r.reset()
+		}
+		if r, ok := ac.Scaler.(resettable); ok {
+			r.reset()
+		}
+		fleet := &fleetState{ac: ac, name: name, recordEvents: g.RecordEvents}
+		for _, cfg := range reg.Configs {
+			// Initial fleets are pre-provisioned: ready at time zero.
+			if err := fleet.spawn(cfg, 0, 0); err != nil {
+				return nil, err
+			}
+		}
+		runs[i] = &regionRun{name: name, fleet: fleet, router: local, ac: ac, nextEval: ac.Interval}
+	}
+
+	// tick runs the earliest pending per-region evaluation at or before
+	// the horizon; region index breaks ties so runs are reproducible.
+	tick := func(horizon time.Duration, final bool) (bool, error) {
+		ri := -1
+		for i, rr := range runs {
+			if final && rr.fleet.allDone() {
+				continue
+			}
+			if rr.nextEval <= horizon && (ri < 0 || rr.nextEval < runs[ri].nextEval) {
+				ri = i
+			}
+		}
+		if ri < 0 {
+			return false, nil
+		}
+		rr := runs[ri]
+		rr.accrue(rr.nextEval)
+		rr.fleet.advance(rr.nextEval, final)
+		if !final || !rr.fleet.allDone() {
+			if err := rr.fleet.evaluate(rr.nextEval); err != nil {
+				return false, err
+			}
+		}
+		rr.nextEval += rr.ac.Interval
+		return true, nil
+	}
+
+	for _, r := range t.Requests {
+		for {
+			more, err := tick(r.Arrival, false)
+			if err != nil {
+				return nil, err
+			}
+			if !more {
+				break
+			}
+		}
+		for _, rr := range runs {
+			rr.accrue(r.Arrival)
+			rr.fleet.advance(r.Arrival, false)
+		}
+		origin, err := originOfName(g.Topology, r.Origin)
+		if err != nil {
+			return nil, err
+		}
+		views := make([]RegionView, len(runs))
+		for i, rr := range runs {
+			views[i] = rr.view(r.Arrival)
+			views[i].Index = i
+			views[i].RTT = g.Topology.RTT[origin][i]
+		}
+		gi := router.Route(r, origin, views)
+		if gi < 0 || gi >= len(runs) {
+			return nil, fmt.Errorf("serve: geo router %s returned region %d of %d", router.Name(), gi, len(runs))
+		}
+		if err := runs[gi].fleet.route(runs[gi].router, r, r.Arrival); err != nil {
+			return nil, err
+		}
+	}
+
+	// Drain: no further arrivals anywhere; regions keep evaluating on
+	// their own clocks so policies can shed idle replicas.
+	for _, rr := range runs {
+		rr.fleet.draining = true
+	}
+	for {
+		done := true
+		for _, rr := range runs {
+			if !rr.fleet.allDone() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if _, err := tick(noHorizon, true); err != nil {
+			return nil, err
+		}
+	}
+
+	return g.buildGeoResult(runs)
+}
+
+// noHorizon is an unreachable event horizon: drain-phase ticks always
+// have a pending evaluation before it.
+const noHorizon = time.Duration(1<<63 - 1)
+
+// buildGeoResult collects per-engine metrics region by region, charges
+// the inter-region RTT to remotely served requests, and assembles the
+// global plus per-region accounting.
+func (g Geo) buildGeoResult(runs []*regionRun) (*Result, error) {
+	var metrics []RequestMetrics
+	var engines []*Engine
+	for gi, rr := range runs {
+		for _, rep := range rr.fleet.replicas {
+			ms := rep.engine.metrics(nil)
+			for k := range ms {
+				origin, err := originOfName(g.Topology, ms[k].Origin)
+				if err != nil {
+					return nil, err
+				}
+				rtt := g.Topology.RTT[origin][gi]
+				ms[k].Origin = g.Topology.Regions[origin]
+				ms[k].Region = rr.name
+				ms[k].RTT = rtt
+				if !ms[k].Rejected {
+					ms[k].TTFT += rtt
+					ms[k].Completion += rtt
+				}
+			}
+			metrics = append(metrics, ms...)
+			engines = append(engines, rep.engine)
+		}
+	}
+	res := buildResult(g.Name, metrics, engines)
+
+	// Replace the fixed-fleet accounting with per-region lifetimes, all
+	// billed against the shared global makespan.
+	res.ReplicaSeconds, res.Replicas, res.FleetSamples = 0, nil, nil
+	res.RegionStats = make([]RegionStats, len(runs))
+	for gi, rr := range runs {
+		scratch := &Result{Makespan: res.Makespan}
+		rr.fleet.finish(scratch)
+		res.Replicas = append(res.Replicas, scratch.Replicas...)
+		res.FleetSamples = append(res.FleetSamples, scratch.FleetSamples...)
+		res.ReplicaSeconds += scratch.ReplicaSeconds
+		res.ScaleUps += scratch.ScaleUps
+		res.ScaleDowns += scratch.ScaleDowns
+		res.RegionStats[gi] = RegionStats{
+			Name:           rr.name,
+			ReplicaSeconds: scratch.ReplicaSeconds,
+			ScaleUps:       scratch.ScaleUps,
+			ScaleDowns:     scratch.ScaleDowns,
+			FleetSamples:   scratch.FleetSamples,
+		}
+	}
+	for _, m := range res.PerRequest {
+		o := g.Topology.Index(m.Origin)
+		s := g.Topology.Index(m.Region)
+		res.RegionStats[o].OriginRequests++
+		st := &res.RegionStats[s]
+		st.ServedRequests++
+		if o != s {
+			st.SpillIn++
+			res.RegionStats[o].SpillOut++
+		}
+		if m.Rejected {
+			st.Rejected++
+		} else {
+			st.TTFT.AddDuration(m.TTFT)
+		}
+		if m.SLO != nil {
+			if m.Rejected {
+				st.SLO.Rejected++
+			} else {
+				st.SLO.Requests++
+			}
+			if m.TTFTMet() {
+				st.SLO.TTFTMet++
+			}
+			if m.TPOTMet() {
+				st.SLO.TPOTMet++
+			}
+		}
+	}
+	return res, nil
+}
+
+func originOfName(t Topology, name string) (int, error) {
+	if name == "" {
+		return 0, nil
+	}
+	if i := t.Index(name); i >= 0 {
+		return i, nil
+	}
+	return 0, fmt.Errorf("serve: request origin %q not in topology %v", name, t.Regions)
+}

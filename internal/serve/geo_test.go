@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// geoTestTrace spreads a router-style mixed trace across origin regions
+// round-robin.
+func geoTestTrace(seed uint64, n int, origins ...string) *workload.Trace {
+	tr := routerTrace(seed, n)
+	for i := range tr.Requests {
+		tr.Requests[i].Origin = origins[i%len(origins)]
+	}
+	return tr
+}
+
+// threeRegionTopo is an asymmetric-distance (but symmetric-matrix)
+// continental triangle.
+func threeRegionTopo() Topology {
+	return Topology{
+		Regions: []string{"us-east", "eu-west", "ap-south"},
+		RTT: [][]time.Duration{
+			{0, 80 * time.Millisecond, 250 * time.Millisecond},
+			{80 * time.Millisecond, 0, 150 * time.Millisecond},
+			{250 * time.Millisecond, 150 * time.Millisecond, 0},
+		},
+	}
+}
+
+// TestGeoSingleRegionBitForBit is the ISSUE's regression guard: a
+// one-region Geo must reproduce the equivalent Cluster.Run with
+// Autoscale bit-for-bit — on the static fixed-fleet policy and on a
+// dynamic policy that actually scales — because the geo tier reuses the
+// same fleet controller underneath. The geo run additionally annotates
+// Origin/Region/RTT on each request; those are cleared before comparing.
+func TestGeoSingleRegionBitForBit(t *testing.T) {
+	cm := llamaCM(t)
+	for _, policy := range []string{"static", "queue-depth"} {
+		tr := routerTrace(7, 300)
+		tr.Stamp("", 1, workload.Deadline(2*time.Second, 100*time.Millisecond))
+
+		mkAC := func() *AutoscaleConfig {
+			scaler, err := NewAutoscaler(policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &AutoscaleConfig{Scaler: scaler, Interval: 5 * time.Second, ColdStart: 10 * time.Second, Max: 8}
+		}
+
+		cl := DPCluster("fleet", gpu1Cfg(cm), 3)
+		cl.Lockstep = false
+		cl.Autoscale = mkAC()
+		want, err := cl.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		g := Geo{
+			Name:     "fleet",
+			Topology: SingleRegion("fleet"),
+			Regions:  []Region{{Configs: cl.Configs, Autoscale: mkAC()}},
+		}
+		got, err := g.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		pr := make([]RequestMetrics, len(got.PerRequest))
+		copy(pr, got.PerRequest)
+		for i := range pr {
+			if pr[i].Origin != "fleet" || pr[i].Region != "fleet" || pr[i].RTT != 0 {
+				t.Fatalf("%s: single-region annotation wrong: %+v", policy, pr[i])
+			}
+			pr[i].Origin, pr[i].Region = "", ""
+		}
+		if !reflect.DeepEqual(pr, want.PerRequest) {
+			t.Fatalf("%s: per-request metrics diverged from the autoscaled cluster run", policy)
+		}
+		if got.Makespan != want.Makespan || got.TotalTokens != want.TotalTokens ||
+			got.Rejected != want.Rejected || got.Iters != want.Iters ||
+			got.Preemptions != want.Preemptions || got.Cost != want.Cost {
+			t.Fatalf("%s: aggregates diverged:\n got %s\nwant %s", policy, got.Summary(), want.Summary())
+		}
+		if !reflect.DeepEqual(got.TTFT, want.TTFT) || !reflect.DeepEqual(got.Completion, want.Completion) {
+			t.Fatalf("%s: latency samples diverged", policy)
+		}
+		if got.ReplicaSeconds != want.ReplicaSeconds ||
+			got.ScaleUps != want.ScaleUps || got.ScaleDowns != want.ScaleDowns {
+			t.Fatalf("%s: fleet accounting diverged: %v/%d/%d vs %v/%d/%d", policy,
+				got.ReplicaSeconds, got.ScaleUps, got.ScaleDowns,
+				want.ReplicaSeconds, want.ScaleUps, want.ScaleDowns)
+		}
+		if !reflect.DeepEqual(got.Replicas, want.Replicas) {
+			t.Fatalf("%s: replica lifetimes diverged", policy)
+		}
+		if !reflect.DeepEqual(got.FleetSamples, want.FleetSamples) {
+			t.Fatalf("%s: fleet samples diverged", policy)
+		}
+		if len(got.RegionStats) != 1 || got.RegionStats[0].SpillIn != 0 || got.RegionStats[0].SpillOut != 0 {
+			t.Fatalf("%s: single region reported spill: %+v", policy, got.RegionStats)
+		}
+	}
+}
+
+// TestGeoConservation is the property test: every request is served
+// exactly once — no region double-serves or drops — across all geo
+// policies and all topology shapes, with per-region autoscaling on.
+func TestGeoConservation(t *testing.T) {
+	cm := llamaCM(t)
+	topos := []Topology{
+		SingleRegion("solo"),
+		UniformTopology(100*time.Millisecond, "east", "west"),
+		threeRegionTopo(),
+	}
+	for _, topo := range topos {
+		for _, name := range GeoRouterNames {
+			router, err := NewGeoRouter(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regions := make([]Region, len(topo.Regions))
+			for i := range regions {
+				regions[i] = Region{
+					Configs: []Config{gpu1Cfg(cm), gpu1Cfg(cm)},
+					Autoscale: &AutoscaleConfig{
+						Scaler: NewQueueDepthAutoscaler(), Interval: 5 * time.Second,
+						ColdStart: 5 * time.Second, Max: 4,
+					},
+				}
+			}
+			tr := geoTestTrace(31, 150, topo.Regions...)
+			g := Geo{Name: "geo-" + name, Topology: topo, Regions: regions, Router: router}
+			res, err := g.Run(tr)
+			if err != nil {
+				t.Fatalf("%s/%d regions: %v", name, len(topo.Regions), err)
+			}
+			if len(res.PerRequest) != len(tr.Requests) {
+				t.Fatalf("%s/%d regions: %d metrics for %d requests",
+					name, len(topo.Regions), len(res.PerRequest), len(tr.Requests))
+			}
+			seen := map[int]int{}
+			for _, m := range res.PerRequest {
+				seen[m.ID]++
+			}
+			for id, n := range seen {
+				if n != 1 {
+					t.Fatalf("%s/%d regions: request %d served %d times", name, len(topo.Regions), id, n)
+				}
+			}
+			served, origin, in, out := 0, 0, 0, 0
+			for _, rs := range res.RegionStats {
+				served += rs.ServedRequests
+				origin += rs.OriginRequests
+				in += rs.SpillIn
+				out += rs.SpillOut
+			}
+			if served != len(tr.Requests) || origin != len(tr.Requests) || in != out {
+				t.Fatalf("%s/%d regions: region counts broken: served %d origin %d in %d out %d",
+					name, len(topo.Regions), served, origin, in, out)
+			}
+		}
+	}
+}
+
+// allToRegion is a test geo router that forces every request to one
+// region, isolating the RTT charge.
+type allToRegion int
+
+func (allToRegion) Name() string { return "all-to" }
+func (g allToRegion) Route(workload.Request, int, []RegionView) int {
+	return int(g)
+}
+
+// TestGeoRTTInflation: serving the same requests on an identical remote
+// fleet must cost exactly the topology RTT on every request's TTFT and
+// completion, and the spill accounting must say so.
+func TestGeoRTTInflation(t *testing.T) {
+	cm := llamaCM(t)
+	const rtt = 300 * time.Millisecond
+	topo := UniformTopology(rtt, "east", "west")
+	mkGeo := func(target int) Geo {
+		return Geo{
+			Name:     "rtt",
+			Topology: topo,
+			Regions: []Region{
+				{Configs: []Config{gpu1Cfg(cm), gpu1Cfg(cm)}},
+				{Configs: []Config{gpu1Cfg(cm), gpu1Cfg(cm)}},
+			},
+			Router: allToRegion(target),
+		}
+	}
+	tr := geoTestTrace(17, 120, "east") // all origins east
+	local, err := mkGeo(0).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := mkGeo(1).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]RequestMetrics{}
+	for _, m := range local.PerRequest {
+		byID[m.ID] = m
+	}
+	for _, m := range remote.PerRequest {
+		if m.Region != "west" || m.Origin != "east" || m.RTT != rtt {
+			t.Fatalf("remote metric mislabeled: %+v", m)
+		}
+		base, ok := byID[m.ID]
+		if !ok || base.Rejected != m.Rejected {
+			t.Fatalf("request %d outcome differs between identical fleets", m.ID)
+		}
+		if m.Rejected {
+			continue
+		}
+		if m.TTFT != base.TTFT+rtt {
+			t.Fatalf("request %d TTFT %v != local %v + RTT", m.ID, m.TTFT, base.TTFT)
+		}
+		if m.Completion != base.Completion+rtt {
+			t.Fatalf("request %d completion %v != local %v + RTT", m.ID, m.Completion, base.Completion)
+		}
+		if m.TPOT != base.TPOT {
+			t.Fatalf("request %d TPOT inflated: %v != %v", m.ID, m.TPOT, base.TPOT)
+		}
+	}
+	n := len(tr.Requests)
+	east, west := remote.RegionStats[0], remote.RegionStats[1]
+	if east.OriginRequests != n || east.SpillOut != n || east.ServedRequests != 0 {
+		t.Fatalf("east stats wrong: %+v", east)
+	}
+	if west.ServedRequests != n || west.SpillIn != n || remote.Spilled() != n {
+		t.Fatalf("west stats wrong: %+v", west)
+	}
+}
+
+// TestSpillOverBreakEven unit-tests the policy's decision rule around
+// the RTT-vs-queue-wait-plus-cold-start break-even.
+func TestSpillOverBreakEven(t *testing.T) {
+	r := &SpillOverRouter{PriorRate: 1000, QueueHigh: 4}
+	route := func(views []RegionView) int {
+		return r.Route(workload.Request{}, 0, views)
+	}
+	idle := func() []RegionView {
+		return []RegionView{
+			{Index: 0, Name: "home", Active: 2, NextReadyIn: -1, ColdStart: 60 * time.Second},
+			{Index: 1, Name: "remote", Active: 2, NextReadyIn: -1, RTT: 200 * time.Millisecond},
+		}
+	}
+
+	// Both idle: stay local; the RTT buys nothing.
+	if got := route(idle()); got != 0 {
+		t.Fatalf("idle fleets routed to %d, want local", got)
+	}
+
+	// Local queue below the scale-up threshold but non-trivial (6s of
+	// work vs a 200ms RTT): remote wins on projected wait alone.
+	v := idle()
+	v[0].QueuedRequests = 6 // 3 per active replica < QueueHigh
+	v[0].QueuedTokens = 12000
+	if got := route(v); got != 1 {
+		t.Fatalf("6s local backlog vs 200ms RTT routed to %d, want remote", got)
+	}
+
+	// Tiny local backlog (150ms of work): cheaper than the round trip.
+	v = idle()
+	v[0].QueuedRequests = 2
+	v[0].QueuedTokens = 300
+	if got := route(v); got != 0 {
+		t.Fatalf("150ms local backlog routed to %d, want local", got)
+	}
+
+	// Queue past the scale-up threshold adds the cold start to the local
+	// cost: 4s of queue + 60s cold start loses to RTT + an idle remote.
+	v = idle()
+	v[0].QueuedRequests = 8 // 4 per active replica = QueueHigh
+	v[0].QueuedTokens = 8000
+	if got := route(v); got != 1 {
+		t.Fatalf("cold-start break-even routed to %d, want remote", got)
+	}
+
+	// Same, but the remote is drowning too: stay local.
+	v[1].QueuedTokens = 200_000 // 100s of remote work
+	if got := route(v); got != 0 {
+		t.Fatalf("drowning remote routed to %d, want local", got)
+	}
+
+	// A warming local replica nearly ready caps the cold-start penalty:
+	// 8s local (4s queue + 4s warmup) beats 200ms + 10s remote backlog.
+	v[1].QueuedTokens = 20_000
+	v[0].Warming, v[0].NextReadyIn = 1, 4*time.Second
+	if got := route(v); got != 0 {
+		t.Fatalf("nearly-warm local fleet routed to %d, want local", got)
+	}
+
+	// The measured rate overrides the prior: 3000 queued tokens project
+	// 1.5s of wait at the 1000 tok/s prior (spill), but only 150ms on a
+	// measured 10k tok/s fleet (stay local).
+	v = idle()
+	v[0].QueuedRequests = 6
+	v[0].QueuedTokens = 3000
+	if got := route(v); got != 1 {
+		t.Fatalf("prior-rate backlog routed to %d, want remote", got)
+	}
+	v[0].MeasuredRate = 10000
+	if got := route(v); got != 0 {
+		t.Fatalf("fast measured fleet routed to %d, want local", got)
+	}
+}
+
+// TestGeoLeastLoadedFollowsLoad: with one region drowning, the global
+// balancer must place new work on the quiet region, RTT or not.
+func TestGeoLeastLoadedLoadFollows(t *testing.T) {
+	r := NewLeastLoadedGlobalRouter()
+	views := []RegionView{
+		{Index: 0, Name: "busy", Active: 2, QueuedTokens: 50000, RunningTokens: 8000},
+		{Index: 1, Name: "quiet", Active: 2, RTT: 300 * time.Millisecond},
+	}
+	if got := r.Route(workload.Request{}, 0, views); got != 1 {
+		t.Fatalf("least-loaded-global kept a drowning region, got %d", got)
+	}
+	// Equal load: ties stay with the origin despite an equal-score peer.
+	views[0].QueuedTokens, views[0].RunningTokens = 0, 0
+	if got := r.Route(workload.Request{}, 0, views); got != 0 {
+		t.Fatalf("tie moved off origin, got %d", got)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	ms := time.Millisecond
+	bad := []Topology{
+		{},
+		{Regions: []string{"a", "a"}, RTT: [][]time.Duration{{0, 0}, {0, 0}}},
+		{Regions: []string{"a", "b"}, RTT: [][]time.Duration{{0, 10 * ms}}},
+		{Regions: []string{"a", "b"}, RTT: [][]time.Duration{{0, 10 * ms}, {20 * ms, 0}}},
+		{Regions: []string{"a", "b"}, RTT: [][]time.Duration{{5 * ms, 10 * ms}, {10 * ms, 0}}},
+		{Regions: []string{"a", "b"}, RTT: [][]time.Duration{{0, -10 * ms}, {-10 * ms, 0}}},
+		{Regions: []string{""}, RTT: [][]time.Duration{{0}}},
+	}
+	for i, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Fatalf("bad topology %d validated: %+v", i, topo)
+		}
+	}
+	if err := threeRegionTopo().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if i := threeRegionTopo().Index("eu-west"); i != 1 {
+		t.Fatalf("Index(eu-west) = %d", i)
+	}
+	if i := threeRegionTopo().Index("nope"); i != -1 {
+		t.Fatalf("Index(nope) = %d", i)
+	}
+}
+
+func TestGeoErrors(t *testing.T) {
+	cm := llamaCM(t)
+	if _, err := NewGeoRouter("nope"); err == nil {
+		t.Fatal("unknown geo router must error")
+	}
+	for _, name := range GeoRouterNames {
+		r, err := NewGeoRouter(name)
+		if err != nil || r.Name() != name {
+			t.Fatalf("registry round-trip failed for %q: %v", name, err)
+		}
+	}
+
+	tr := geoTestTrace(5, 20, "east", "west")
+	topo := UniformTopology(50*time.Millisecond, "east", "west")
+	regions := func() []Region {
+		return []Region{
+			{Configs: []Config{gpu1Cfg(cm)}},
+			{Configs: []Config{gpu1Cfg(cm)}},
+		}
+	}
+
+	g := Geo{Name: "g", Topology: topo, Regions: regions()[:1]}
+	if _, err := g.Run(tr); err == nil {
+		t.Fatal("region/topology count mismatch must error")
+	}
+
+	g = Geo{Name: "g", Topology: topo, Regions: regions()}
+	g.Regions[1].Name = "wrong"
+	if _, err := g.Run(tr); err == nil {
+		t.Fatal("region name mismatch must error")
+	}
+
+	g = Geo{Name: "g", Topology: topo, Regions: regions()}
+	g.Regions[0].Configs = nil
+	if _, err := g.Run(tr); err == nil {
+		t.Fatal("empty region must error")
+	}
+
+	g = Geo{Name: "g", Topology: topo, Regions: regions(), Router: allToRegion(7)}
+	if _, err := g.Run(tr); err == nil {
+		t.Fatal("out-of-range geo route must error")
+	}
+
+	g = Geo{Name: "g", Topology: topo, Regions: regions()}
+	orphan := geoTestTrace(5, 20, "mars")
+	if _, err := g.Run(orphan); err == nil {
+		t.Fatal("unknown origin must error")
+	}
+}
+
+// TestGeoEmptyOriginIsHome: requests without an origin belong to the
+// topology's first region.
+func TestGeoEmptyOriginIsHome(t *testing.T) {
+	cm := llamaCM(t)
+	g := Geo{
+		Name:     "g",
+		Topology: UniformTopology(50*time.Millisecond, "home", "away"),
+		Regions:  []Region{{Configs: []Config{gpu1Cfg(cm)}}, {Configs: []Config{gpu1Cfg(cm)}}},
+	}
+	res, err := g.Run(routerTrace(3, 40)) // no origins set
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RegionStats[0].OriginRequests != 40 || res.RegionStats[1].OriginRequests != 0 {
+		t.Fatalf("empty origins not mapped home: %+v", res.RegionStats)
+	}
+	for _, m := range res.PerRequest {
+		if m.Origin != "home" {
+			t.Fatalf("metric origin %q, want home", m.Origin)
+		}
+	}
+}
+
+// TestGeoNearestStaysHome: the nearest policy must never leave the
+// origin region when it exists in the topology.
+func TestGeoNearestStaysHome(t *testing.T) {
+	cm := llamaCM(t)
+	topo := threeRegionTopo()
+	regions := make([]Region, 3)
+	for i := range regions {
+		regions[i] = Region{Configs: []Config{gpu1Cfg(cm)}}
+	}
+	tr := geoTestTrace(19, 90, topo.Regions...)
+	g := Geo{Name: "near", Topology: topo, Regions: regions} // nil router = nearest
+	res, err := g.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled() != 0 {
+		t.Fatalf("nearest spilled %d requests", res.Spilled())
+	}
+	for _, m := range res.PerRequest {
+		if m.Origin != m.Region || m.RTT != 0 {
+			t.Fatalf("nearest served %s-origin request in %s (RTT %v)", m.Origin, m.Region, m.RTT)
+		}
+	}
+	for i, rs := range res.RegionStats {
+		if rs.ServedRequests != rs.OriginRequests {
+			t.Fatalf("region %d served %d != origin %d", i, rs.ServedRequests, rs.OriginRequests)
+		}
+	}
+}

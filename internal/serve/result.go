@@ -34,6 +34,13 @@ type RequestMetrics struct {
 	// Replica names the engine that served (or rejected) the request,
 	// so autoscaled runs can audit placement against replica lifetimes.
 	Replica string
+	// Origin and Region name the request's arrival region and the region
+	// whose fleet served it; RTT is the inter-region round trip charged
+	// on top of the served TTFT/Completion when they differ. All three
+	// are zero-valued outside geo runs.
+	Origin string
+	Region string
+	RTT    time.Duration
 }
 
 // TTFTMet reports whether the request met its TTFT deadline. A
@@ -81,7 +88,7 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 			Completion:  s.finished - s.req.Arrival,
 			Preemptions: s.preempted,
 			Priority:    s.req.Priority, SLO: s.req.SLO,
-			Replica: e.cfg.Name,
+			Replica: e.cfg.Name, Origin: s.req.Origin,
 		}
 		if s.req.OutputTokens > 1 {
 			m.TPOT = (s.finished - s.firstTok) / time.Duration(s.req.OutputTokens-1)
@@ -93,7 +100,7 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.Arrival,
 			InputTokens: s.req.InputTokens, OutputTokens: s.req.OutputTokens,
 			Rejected: true, Priority: s.req.Priority, SLO: s.req.SLO,
-			Replica: e.cfg.Name,
+			Replica: e.cfg.Name, Origin: s.req.Origin,
 		})
 	}
 	return out
@@ -139,6 +146,45 @@ type Result struct {
 	FleetSamples   []FleetSample
 	ScaleUps       int
 	ScaleDowns     int
+
+	// RegionStats breaks a geo run down per region (nil outside geo
+	// runs): request counts, spill-over flows, RTT-inflated TTFT, SLO
+	// attainment, and replica-seconds, so cost stays comparable across
+	// geo routing policies.
+	RegionStats []RegionStats
+}
+
+// RegionStats aggregates one region's share of a geo run. TTFT and SLO
+// cover the requests this region's fleet served, with the inter-region
+// RTT already added for spilled-in requests.
+type RegionStats struct {
+	Name string
+	// OriginRequests counts requests that arrived in this region;
+	// ServedRequests counts requests this region's fleet served or
+	// rejected. SpillIn served here but arrived elsewhere; SpillOut
+	// arrived here but served elsewhere.
+	OriginRequests int
+	ServedRequests int
+	SpillIn        int
+	SpillOut       int
+	Rejected       int
+	TTFT           stats.Sample // milliseconds, RTT-inflated
+	SLO            SLOAttainment
+	// Fleet accounting for this region's fleet alone.
+	ReplicaSeconds float64
+	ScaleUps       int
+	ScaleDowns     int
+	FleetSamples   []FleetSample
+}
+
+// Spilled sums the requests a geo run served outside their origin region
+// (zero outside geo runs).
+func (r *Result) Spilled() int {
+	n := 0
+	for _, rs := range r.RegionStats {
+		n += rs.SpillIn
+	}
+	return n
 }
 
 // ReplicaLife records one replica's provisioned lifetime: spawned at

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 
 	"repro/internal/workload"
 )
@@ -114,16 +115,20 @@ func (joinShortestKV) Route(_ workload.Request, replicas []ReplicaView) int {
 
 type affinity struct{ fallback Router }
 
-// NewAffinityRouter hashes the request's Session key so all requests of
-// one multi-turn session land on the same replica — the replica holding
-// that session's prefix cache, which is what agentic traffic wants.
-// Sessionless requests (empty Session, e.g. one-shot batch jobs) fall
-// back to least-outstanding placement instead of piling onto one hash
-// bucket. Caveat: the mapping is hash-mod-fleet-size, so under
-// autoscaling a scale event changes the modulus and can remap ongoing
-// sessions to different replicas (losing their warmed prefixes);
-// consistent hashing over replica identities is future work tracked in
-// the ROADMAP.
+// NewAffinityRouter maps the request's Session key to a replica by
+// rendezvous (highest-random-weight) hashing over replica identities, so
+// all requests of one multi-turn session land on the same replica — the
+// replica holding that session's prefix cache, which is what agentic
+// traffic wants. Because each (session, replica-name) pair hashes
+// independently, sessions stay sticky across autoscale events: adding a
+// replica moves only the sessions that now rank it highest, and removing
+// one remaps only the sessions that lived on it (regression-tested) —
+// unlike the old hash-mod-fleet-size mapping, which reshuffled nearly
+// every session whenever the fleet size changed. Sessionless requests
+// (empty Session, e.g. one-shot batch jobs) fall back to
+// least-outstanding placement instead of piling onto one hash bucket.
+// Replicas sharing a name hash identically; ties break to the lowest
+// index, so placement stays deterministic even then.
 func NewAffinityRouter() Router { return affinity{fallback: NewLeastOutstandingRouter()} }
 
 func (affinity) Name() string { return "affinity" }
@@ -132,9 +137,44 @@ func (a affinity) Route(r workload.Request, replicas []ReplicaView) int {
 	if r.Session == "" {
 		return a.fallback.Route(r, replicas)
 	}
-	h := fnv.New32a()
-	h.Write([]byte(r.Session))
-	return int(h.Sum32() % uint32(len(replicas)))
+	session := fnvHash(r.Session)
+	best, bestScore := 0, uint64(0)
+	for i, rep := range replicas {
+		name := rep.Name
+		if name == "" {
+			// Unnamed replicas (hand-built fleets outside the helper
+			// constructors) would all score identically and collapse every
+			// session onto index 0; fall back to the index as the identity.
+			// Index-keyed mappings are not sticky across scale events, but
+			// they spread — and named fleets are unaffected.
+			name = strconv.Itoa(rep.Index)
+		}
+		if s := rendezvousScore(session, name); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// rendezvousScore ranks a replica for a session key. Raw FNV over the
+// concatenated strings ranks near-identical replica names (…replica0,
+// …replica1) in a correlated order — a couple of replicas win almost
+// every session — so the combined hash is passed through a
+// splitmix64-style finalizer for full avalanche.
+func rendezvousScore(sessionHash uint64, replica string) uint64 {
+	x := sessionHash ^ fnvHash(replica)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // builtinRouters is the single registry RouterNames and NewRouter both

@@ -254,6 +254,94 @@ type badRouter struct{}
 func (badRouter) Name() string                              { return "bad" }
 func (badRouter) Route(workload.Request, []ReplicaView) int { return 99 }
 
+// A hand-built fleet with unnamed replicas must still spread sessions
+// (the index fallback), not collapse every session onto replica 0.
+func TestAffinityUnnamedReplicasSpread(t *testing.T) {
+	router := NewAffinityRouter()
+	views := make([]ReplicaView, 4)
+	for i := range views {
+		views[i] = ReplicaView{Index: i}
+	}
+	homes := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		homes[router.Route(workload.Request{Session: fmt.Sprintf("session-%d", i)}, views)] = true
+	}
+	if len(homes) < 3 {
+		t.Fatalf("unnamed fleet used only %d of 4 replicas", len(homes))
+	}
+}
+
+// Rendezvous-hashed affinity must keep session→replica mappings stable
+// across fleet-size changes: removing a replica remaps only the sessions
+// that lived on it, and adding one moves sessions only onto the
+// newcomer — the stickiness hash-mod-fleet-size could not provide.
+func TestAffinityRendezvousSurvivesScaleEvents(t *testing.T) {
+	views := func(names ...string) []ReplicaView {
+		vs := make([]ReplicaView, len(names))
+		for i, n := range names {
+			vs[i] = ReplicaView{Index: i, Name: n}
+		}
+		return vs
+	}
+	router := NewAffinityRouter()
+	place := func(session string, vs []ReplicaView) string {
+		return vs[router.Route(workload.Request{Session: session}, vs)].Name
+	}
+	const sessions = 200
+	full := views("fleet-replica0", "fleet-replica1", "fleet-replica2", "fleet-replica3", "fleet-replica4")
+
+	before := map[string]string{}
+	for i := 0; i < sessions; i++ {
+		s := fmt.Sprintf("session-%d", i)
+		before[s] = place(s, full)
+	}
+	spread := map[string]bool{}
+	for _, home := range before {
+		spread[home] = true
+	}
+	if len(spread) < 3 {
+		t.Fatalf("sessions hashed onto only %d of 5 replicas", len(spread))
+	}
+
+	// Scale down: drop the last replica. Sessions that lived elsewhere
+	// must not move; sessions on the removed replica must land somewhere.
+	shrunk := full[:4]
+	removed := "fleet-replica4"
+	moved := 0
+	for s, home := range before {
+		got := place(s, shrunk)
+		if home != removed {
+			if got != home {
+				t.Fatalf("session %s moved %s → %s when unrelated replica %s was removed", s, home, got, removed)
+			}
+			continue
+		}
+		moved++
+		if got == removed {
+			t.Fatalf("session %s still mapped to the removed replica", s)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no session lived on the removed replica; shrink assertion is vacuous")
+	}
+
+	// Scale up: a new replica may only attract sessions, never shuffle
+	// them between incumbents.
+	grown := append(views("fleet-replica0", "fleet-replica1", "fleet-replica2", "fleet-replica3", "fleet-replica4"), ReplicaView{Index: 5, Name: "fleet-replica5"})
+	gained := 0
+	for s, home := range before {
+		got := place(s, grown)
+		if got == "fleet-replica5" {
+			gained++
+		} else if got != home {
+			t.Fatalf("session %s moved %s → %s when a replica was added", s, home, got)
+		}
+	}
+	if gained == 0 {
+		t.Fatal("new replica attracted no sessions; grow assertion is vacuous")
+	}
+}
+
 // Repeated Run calls on one cluster must assign identically even for
 // stateful routers: round-robin's cursor resets per run.
 func TestRoundRobinRepeatedRunsIdentical(t *testing.T) {

@@ -4,8 +4,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -233,8 +235,8 @@ func (s *Series) Peak() float64 {
 // Table renders rows of labeled values as an aligned text table; the
 // harness uses it to print the same rows the paper reports.
 type Table struct {
-	Header []string
-	Rows   [][]string
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // NewTable returns a table with the given column headers.
@@ -291,6 +293,35 @@ func (t *Table) String() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// Section pairs a table with the name it publishes under in the
+// machine-readable bench output: one Section per printed sweep.
+type Section struct {
+	Name  string `json:"name"`
+	Table *Table `json:"table"`
+}
+
+// WriteJSON writes bench sections to path as indented JSON — the
+// BENCH_<name>.json files the cmd binaries emit under -json, holding the
+// same formatted cells as the printed tables so the perf trajectory can
+// accumulate across runs.
+func WriteJSON(path string, sections []Section) error {
+	if len(sections) == 0 {
+		return fmt.Errorf("stats: no sections to write to %s", path)
+	}
+	for _, s := range sections {
+		if s.Name == "" || s.Table == nil {
+			return fmt.Errorf("stats: section %q incomplete", s.Name)
+		}
+	}
+	data, err := json.MarshalIndent(struct {
+		Sections []Section `json:"sections"`
+	}{sections}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // FormatFloat renders a float compactly: integers without decimals, large

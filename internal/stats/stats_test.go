@@ -1,7 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -273,5 +276,41 @@ func TestFracBelow(t *testing.T) {
 		if got := s.FracBelow(v); got != want {
 			t.Errorf("FracBelow(%v) = %v, want %v", v, got, want)
 		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tab := NewTable("Policy", "Score")
+	tab.AddRow("nearest", 1.5)
+	tab.AddRow("spill-over", 2.25)
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := WriteJSON(path, []Section{{Name: "sweep", Table: tab}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Sections []Section `json:"sections"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("emitted file does not parse: %v", err)
+	}
+	if len(got.Sections) != 1 || got.Sections[0].Name != "sweep" {
+		t.Fatalf("sections = %+v", got.Sections)
+	}
+	if !reflect.DeepEqual(got.Sections[0].Table, tab) {
+		t.Fatalf("table did not round-trip:\n got %+v\nwant %+v", got.Sections[0].Table, tab)
+	}
+
+	if err := WriteJSON(path, nil); err == nil {
+		t.Fatal("empty section list must error")
+	}
+	if err := WriteJSON(path, []Section{{Name: "", Table: tab}}); err == nil {
+		t.Fatal("unnamed section must error")
+	}
+	if err := WriteJSON(path, []Section{{Name: "x", Table: nil}}); err == nil {
+		t.Fatal("nil table must error")
 	}
 }

@@ -46,6 +46,10 @@ type Request struct {
 	// belongs to — the affinity router's key. Empty means sessionless:
 	// affinity routing falls back to load balancing for such requests.
 	Session string
+	// Origin optionally names the geographic region the request arrives
+	// from — the geo tier's routing key. Empty means the topology's
+	// first (home) region; single-region deployments can ignore it.
+	Origin string
 	// Priority orders requests inside an engine: higher runs first and is
 	// preempted last. The zero value (with a nil SLO) reproduces plain
 	// FIFO scheduling exactly.
@@ -138,6 +142,18 @@ func (t *Trace) Stamp(class string, priority int, slo *SLO) *Trace {
 		if class == "" || t.Requests[i].Class == class {
 			t.Requests[i].Priority = priority
 			t.Requests[i].SLO = slo
+		}
+	}
+	return t
+}
+
+// StampOrigin sets the origin region on every request whose Class equals
+// class (or on all requests when class is ""), returning the trace for
+// chaining — the geo-tier sibling of Stamp.
+func (t *Trace) StampOrigin(class, origin string) *Trace {
+	for i := range t.Requests {
+		if class == "" || t.Requests[i].Class == class {
+			t.Requests[i].Origin = origin
 		}
 	}
 	return t
