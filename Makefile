@@ -3,8 +3,9 @@
 # suite under the race detector, and a single pass of every benchmark.
 
 GO ?= go
+PERFCOUNT ?= 5
 
-.PHONY: ci fmt vet test race bench bench-json build docs
+.PHONY: ci fmt vet test race bench bench-json perfbench build docs
 
 ci: fmt vet docs race bench bench-json
 
@@ -35,7 +36,16 @@ bench-json:
 	$(GO) run ./cmd/burstbench -quick -json > /dev/null
 	$(GO) run ./cmd/clusterbench -quick -json > /dev/null
 	$(GO) run ./cmd/geobench -quick -json > /dev/null
-	$(GO) run ./cmd/jsonlint BENCH_burstbench.json BENCH_clusterbench.json BENCH_geobench.json
+	$(GO) run ./cmd/simbench -quick -json > /dev/null
+	$(GO) run ./cmd/jsonlint BENCH_burstbench.json BENCH_clusterbench.json BENCH_geobench.json BENCH_simbench.json
+
+# Simulator-performance benchmarks (engine hot path, fleet stepping,
+# sweep fan-out) with allocation stats, repeated PERFCOUNT times so the
+# output feeds benchstat for before/after comparisons:
+#   make perfbench > new.txt   (and on the baseline commit > old.txt)
+#   benchstat old.txt new.txt
+perfbench:
+	$(GO) test -run xxx -bench 'BenchmarkSimulator_' -benchmem -count $(PERFCOUNT) .
 
 # Documentation lint: formatting, vet, and a package comment on every
 # internal package (godoc's "Package <name> ..." convention).

@@ -1,0 +1,66 @@
+// Command simbench benchmarks the simulator itself: wall-clock to
+// replay the geobench sweep grid serially vs on the worker pools (the
+// tentpole speedup — every pool width produces byte-identical results),
+// simulated-seconds advanced per wall-second, and the engine hot path's
+// allocation bill per request. With -json it writes the tables as
+// BENCH_simbench.json so the perf trajectory gains a simulator-speed
+// axis next to the serving-quality sweeps.
+//
+// Usage:
+//
+//	simbench
+//	simbench -quick -json
+//	simbench -reps 5 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", false, "reduced workload (the CI grid)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	reps := flag.Int("reps", 3, "replays per mode; the fastest is kept")
+	workers := flag.Int("workers", 0, "parallel-mode pool width (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "also write the tables as BENCH_simbench.json")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	env.Seed = *seed
+	env.Workers = *workers
+
+	fmt.Printf("=== Simulator speed: geobench grid, serial vs parallel (GOMAXPROCS=%d) ===\n",
+		runtime.GOMAXPROCS(0))
+	speed, err := experiments.SimulatorSpeed(env, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(speed)
+
+	fmt.Println("=== Engine hot path: single-replica replays, allocation bill per request ===")
+	hot, err := experiments.EngineHotPath(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(hot)
+
+	if *jsonOut {
+		const path = "BENCH_simbench.json"
+		sections := []stats.Section{
+			{Name: "simulator-speed", Table: speed},
+			{Name: "engine-hotpath", Table: hot},
+		}
+		if err := stats.WriteJSON(path, sections); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

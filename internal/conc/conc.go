@@ -1,0 +1,58 @@
+// Package conc provides the bounded worker pool the simulator uses to
+// fan independent work units — replicas between controller horizons, geo
+// regions within an interval, experiment sweep cells — across cores.
+// Determinism is preserved by construction: every unit writes only state
+// owned by its index, and callers read results back in index order, so
+// output is byte-identical to a serial run regardless of goroutine
+// scheduling (pinned by the serve package's determinism tests).
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested pool width: zero or negative (the
+// default) means GOMAXPROCS; anything else is returned as given, so 1
+// forces the serial reference path.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// For runs f(i) for every i in [0, n) on up to workers goroutines,
+// returning once all calls complete. With workers <= 1 (or a single
+// item) it runs inline on the calling goroutine — the serial path the
+// determinism tests compare against. f must confine its writes to state
+// owned by index i; For's return provides the happens-before edge that
+// makes those writes visible to the caller.
+func For(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -66,40 +66,57 @@ func Autoscaling(e Env, coldStarts []time.Duration) (*stats.Table, error) {
 	tab := stats.NewTable("Policy", "ColdStart", "Fleet0", "Fleet mean/peak",
 		"Replica-s", "$/Mtok", "Int TTFT-SLO %", "Batch TTFT-SLO %",
 		"p50 TTFT ms", "p99 TTFT ms", "Ups", "Downs", "Rejected")
-	row := func(policy string, cold time.Duration, initial int) error {
-		res, err := runAutoscalePolicy(e, cm, tr, policy, cold, initial)
-		if err != nil {
-			return err
-		}
-		interactive := attainment(res, "interactive")
-		batch := attainment(res, "batch")
-		ttft := classTTFT(res, "interactive")
-		tab.AddRow(policy, cold, initial,
-			fmt.Sprintf("%.1f/%d", res.MeanFleet(), res.PeakFleet()),
-			res.ReplicaSeconds, res.CostPerMToken(NominalGPUHourUSD),
-			100*interactive.TTFTRate(), 100*batch.TTFTRate(),
-			ttft.Median(), ttft.P99(),
-			res.ScaleUps, res.ScaleDowns, res.Rejected)
-		return nil
-	}
-	// Static baselines at several fixed fleet sizes anchor the
+	// Sweep cells share nothing (the trace and cost model are read-only
+	// during runs): fan them out over the worker pool and add rows in
+	// submission order, byte-identical to the serial sweep. Static
+	// baselines at several fixed fleet sizes anchor the
 	// provisioned-vs-attainment curve: the cheap end misses SLOs under
 	// bursts, the expensive end buys attainment with idle replica-seconds.
 	// Cold start never applies to a fleet that never spawns.
+	type cell struct {
+		policy  string
+		cold    time.Duration
+		initial int
+		res     *serve.Result
+	}
+	var cells []cell
 	for _, n := range []int{autoscaleInitial, (autoscaleInitial + autoscaleMax) / 2, autoscaleMax} {
-		if err := row("static", 0, n); err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{policy: "static", initial: n})
 	}
 	for _, name := range serve.AutoscalerNames {
 		if name == "static" {
 			continue
 		}
 		for _, cold := range coldStarts {
-			if err := row(name, cold, autoscaleInitial); err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{policy: name, cold: cold, initial: autoscaleInitial})
 		}
+	}
+	pool := NewPool(e.Workers)
+	cellEnv := e
+	cellEnv.Workers = pool.CellWorkers(e.Workers)
+	err = pool.Run(len(cells), func(i int) error {
+		c := &cells[i]
+		res, err := runAutoscalePolicy(cellEnv, cm, tr, c.policy, c.cold, c.initial)
+		if err != nil {
+			return err
+		}
+		c.res = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		res := c.res
+		interactive := attainment(res, "interactive")
+		batch := attainment(res, "batch")
+		ttft := classTTFT(res, "interactive")
+		tab.AddRow(c.policy, c.cold, c.initial,
+			fmt.Sprintf("%.1f/%d", res.MeanFleet(), res.PeakFleet()),
+			res.ReplicaSeconds, res.CostPerMToken(NominalGPUHourUSD),
+			100*interactive.TTFTRate(), 100*batch.TTFTRate(),
+			ttft.Median(), ttft.P99(),
+			res.ScaleUps, res.ScaleDowns, res.Rejected)
 	}
 	return tab, nil
 }
@@ -123,6 +140,7 @@ func runAutoscalePolicy(e Env, cm *perf.CostModel, tr *workload.Trace, policy st
 	}
 	cl := serve.DPCluster("auto-"+policy, serve.Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}, initial)
 	cl.Lockstep = false // independent servers behind a balancer
+	cl.Parallelism = e.Workers
 	cl.Autoscale = &serve.AutoscaleConfig{
 		Scaler:    scaler,
 		Interval:  5 * time.Second,

@@ -26,6 +26,12 @@ type Env struct {
 	// Quick shrinks workloads (for tests and benches); full-size runs
 	// reproduce the paper's scales.
 	Quick bool
+	// Workers bounds the sweep worker pool (and the simulator's internal
+	// replica/region stepping pools): 0 uses GOMAXPROCS, 1 forces the
+	// serial path. Results are byte-identical at every setting — sweep
+	// cells are independent and rows assemble in submission order —
+	// which is what cmd/simbench measures the wall-clock difference of.
+	Workers int
 }
 
 // DefaultEnv is the paper's environment: one p5en node (8xH200).
@@ -256,9 +262,9 @@ func Table1(e Env, m model.Config) (*stats.Table, error) {
 	}
 	bestTTFT, bestTPOT, bestTput := pts[Order[0]].ttft, pts[Order[0]].tpot, pts[Order[0]].tput
 	for _, p := range pts {
-		bestTTFT = minF(bestTTFT, p.ttft)
-		bestTPOT = minF(bestTPOT, p.tpot)
-		bestTput = maxF(bestTput, p.tput)
+		bestTTFT = min(bestTTFT, p.ttft)
+		bestTPOT = min(bestTPOT, p.tpot)
+		bestTput = max(bestTput, p.tput)
 	}
 	tab := stats.NewTable("System", "TTFT", "TPOT", "Throughput")
 	for _, name := range Order {
@@ -323,24 +329,3 @@ func Table3(e Env, m model.Config) (*stats.Table, error) {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxF(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -105,17 +105,19 @@ func geoRegions(cm *perf.CostModel, topo serve.Topology, cold time.Duration) []s
 	return regions
 }
 
-// runGeoPolicy runs one sweep cell.
-func runGeoPolicy(cm *perf.CostModel, tr *workload.Trace, topo serve.Topology, policy string, cold time.Duration) (*serve.Result, error) {
+// runGeoPolicy runs one sweep cell; workers bounds the simulator's
+// internal stepping pools (the sweep pool above it parallelizes cells).
+func runGeoPolicy(cm *perf.CostModel, tr *workload.Trace, topo serve.Topology, policy string, cold time.Duration, workers int) (*serve.Result, error) {
 	router, err := serve.NewGeoRouter(policy)
 	if err != nil {
 		return nil, err
 	}
 	g := serve.Geo{
-		Name:     "geo-" + policy,
-		Topology: topo,
-		Regions:  geoRegions(cm, topo, cold),
-		Router:   router,
+		Name:        "geo-" + policy,
+		Topology:    topo,
+		Regions:     geoRegions(cm, topo, cold),
+		Router:      router,
+		Parallelism: workers,
 	}
 	res, err := g.Run(tr)
 	if err != nil {
@@ -127,7 +129,7 @@ func runGeoPolicy(cm *perf.CostModel, tr *workload.Trace, topo serve.Topology, p
 // geoBaseline serves the same workload in one consolidated region (no
 // RTT anywhere, combined fleet bounds): the "just build one big site"
 // comparator every multi-region row must justify itself against.
-func geoBaseline(cm *perf.CostModel, tr *workload.Trace, cold time.Duration) (*serve.Result, error) {
+func geoBaseline(cm *perf.CostModel, tr *workload.Trace, cold time.Duration, workers int) (*serve.Result, error) {
 	topo := serve.SingleRegion("single-site")
 	regions := geoRegions(cm, topo, cold)
 	configs := make([]serve.Config, 2*geoInitial)
@@ -143,7 +145,7 @@ func geoBaseline(cm *perf.CostModel, tr *workload.Trace, cold time.Duration) (*s
 	for i := range local.Requests {
 		local.Requests[i].Origin = ""
 	}
-	g := serve.Geo{Name: "geo-single", Topology: topo, Regions: regions}
+	g := serve.Geo{Name: "geo-single", Topology: topo, Regions: regions, Parallelism: workers}
 	res, err := g.Run(local)
 	if err != nil {
 		return nil, fmt.Errorf("single-site/cold=%v: %w", cold, err)
@@ -164,13 +166,7 @@ func GeoServing(e Env, coldStarts []time.Duration) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if coldStarts == nil {
-		coldStarts = geoColdStarts(e)
-	}
-	topos := geoTopologies()
-	if e.Quick {
-		topos = topos[len(topos)-1:] // the antipodal pair stresses the trade-off most
-	}
+	topos, coldStarts := geoSweepAxes(e, coldStarts)
 	tab := stats.NewTable("Policy", "Topology", "ColdStart", "Fleet mean/peak",
 		"Replica-s", "$/Mtok", "Int TTFT-SLO %", "p50 TTFT ms", "p99 TTFT ms",
 		"Spilled %", "Ups", "Downs", "Rejected")
@@ -188,25 +184,81 @@ func GeoServing(e Env, coldStarts []time.Duration) (*stats.Table, error) {
 			100*att.TTFTRate(), ttft.Median(), ttft.P99(),
 			spillPct, res.ScaleUps, res.ScaleDowns, res.Rejected)
 	}
+	// Sweep cells share nothing (traces and the cost model are read-only
+	// during runs): fan them out over the worker pool and assemble rows
+	// in submission order, so the table is byte-identical to the serial
+	// sweep at any pool width.
+	cells := geoGrid(e, cm, topos, coldStarts)
+	pool := NewPool(e.Workers)
+	results := make([]*serve.Result, len(cells))
+	err = pool.Run(len(cells), func(i int) error {
+		res, err := cells[i].run(pool.CellWorkers(e.Workers))
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		addRow(c.policy, c.topoName, c.cold, results[i])
+	}
+	return tab, nil
+}
+
+// geoCell is one cell of the geobench grid: a policy (or the
+// consolidated baseline) at one topology and cold-start point. run
+// replays the cell; workers bounds the simulator's internal stepping
+// pools (the sweep pool above it parallelizes cells).
+type geoCell struct {
+	policy   string
+	topoName string
+	cold     time.Duration
+	run      func(workers int) (*serve.Result, error)
+}
+
+// geoGrid builds the geobench sweep grid — the consolidated
+// single-region baseline plus every geo policy, per topology x cold
+// start. GeoServing renders it as the sweep table and simbench times a
+// replay of it, so both always measure the same grid.
+func geoGrid(e Env, cm *perf.CostModel, topos []serve.Topology, coldStarts []time.Duration) []geoCell {
+	var cells []geoCell
 	for _, topo := range topos {
 		topoName := fmt.Sprintf("%s+%s/%v", topo.Regions[0], topo.Regions[1], topo.RTT[0][1])
 		tr := geoTrace(e, topo.Regions[0], topo.Regions[1])
 		for _, cold := range coldStarts {
-			base, err := geoBaseline(cm, tr, cold)
-			if err != nil {
-				return nil, err
-			}
-			addRow("single-region", topoName, cold, base)
+			cells = append(cells, geoCell{
+				policy: "single-region", topoName: topoName, cold: cold,
+				run: func(workers int) (*serve.Result, error) {
+					return geoBaseline(cm, tr, cold, workers)
+				},
+			})
 			for _, policy := range serve.GeoRouterNames {
-				res, err := runGeoPolicy(cm, tr, topo, policy, cold)
-				if err != nil {
-					return nil, err
-				}
-				addRow(policy, topoName, cold, res)
+				cells = append(cells, geoCell{
+					policy: policy, topoName: topoName, cold: cold,
+					run: func(workers int) (*serve.Result, error) {
+						return runGeoPolicy(cm, tr, topo, policy, cold, workers)
+					},
+				})
 			}
 		}
 	}
-	return tab, nil
+	return cells
+}
+
+// geoSweepAxes resolves the sweep's topology and cold-start axes for
+// the env (shared by GeoServing and simbench).
+func geoSweepAxes(e Env, coldStarts []time.Duration) ([]serve.Topology, []time.Duration) {
+	topos := geoTopologies()
+	if e.Quick {
+		topos = topos[len(topos)-1:] // the antipodal pair stresses the trade-off most
+	}
+	if coldStarts == nil {
+		coldStarts = geoColdStarts(e)
+	}
+	return topos, coldStarts
 }
 
 // GeoRegionBreakdown renders the per-region view of one sweep cell: who
@@ -220,7 +272,7 @@ func GeoRegionBreakdown(e Env, policy string, cold time.Duration) (*stats.Table,
 	topos := geoTopologies()
 	topo := topos[len(topos)-1]
 	tr := geoTrace(e, topo.Regions[0], topo.Regions[1])
-	res, err := runGeoPolicy(cm, tr, topo, policy, cold)
+	res, err := runGeoPolicy(cm, tr, topo, policy, cold, e.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPoolRunReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := NewPool(4).Run(10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("got %v, want the lowest-index error %v", err, errB)
+	}
+}
+
+func TestPoolRunCoversAllCells(t *testing.T) {
+	hits := make([]bool, 25)
+	if err := NewPool(0).Run(len(hits), func(i int) error { hits[i] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("cell %d not run", i)
+		}
+	}
+}
+
+// TestSweepParallelMatchesSerial pins the experiments-layer half of the
+// determinism contract: a sweep fanned over the pool produces the exact
+// table the serial sweep did, row for row.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	e := DefaultEnv()
+	e.Quick = true
+
+	e.Workers = 1
+	serial, err := GeoServing(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Workers = 4
+	parallel, err := GeoServing(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel sweep diverged from serial:\nserial:\n%v\nparallel:\n%v", serial, parallel)
+	}
+}

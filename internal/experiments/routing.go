@@ -87,21 +87,55 @@ func classTTFT(res *serve.Result, prefix string) *stats.Sample {
 	return &s
 }
 
-// routingRow runs one (cluster, router) cell and appends its table row.
-func routingRow(tab *stats.Table, fleet string, n int, cl serve.Cluster, tr *workload.Trace) error {
-	res, err := cl.Run(tr)
-	if err != nil {
-		return fmt.Errorf("%s/%s: %w", fleet, cl.Router.Name(), err)
-	}
+// routingRow appends one (cluster, router) cell's result as a table row.
+func routingRow(tab *stats.Table, fleet string, n int, router string, res *serve.Result) {
 	chat := attainment(res, "chat")
 	batch := attainment(res, "batch")
 	ttft := classTTFT(res, "chat")
-	tab.AddRow(fleet, n, cl.Router.Name(),
+	tab.AddRow(fleet, n, router,
 		res.Throughput(),
 		100*chat.TTFTRate(), 100*chat.TPOTRate(), 100*batch.TTFTRate(),
 		ttft.Median(), ttft.P99(),
 		100*ttft.FracBelow(ms(interactiveSLO.TTFT)),
 		res.SLOPreemptions, res.Rejected)
+}
+
+// routingCell is one (fleet, router) sweep cell; build constructs the
+// cluster (with a fresh router instance — routers are stateful) inside
+// the worker so cells share nothing. workers bounds the cluster's
+// internal replica-stepping pool.
+type routingCell struct {
+	fleet  string
+	n      int
+	router string
+	build  func(router serve.Router, workers int) serve.Cluster
+	res    *serve.Result
+}
+
+// runRoutingCells fans the cells over the worker pool and appends their
+// rows in submission order.
+func runRoutingCells(e Env, tab *stats.Table, cells []routingCell, tr *workload.Trace) error {
+	pool := NewPool(e.Workers)
+	err := pool.Run(len(cells), func(i int) error {
+		c := &cells[i]
+		router, err := serve.NewRouter(c.router)
+		if err != nil {
+			return err
+		}
+		cl := c.build(router, pool.CellWorkers(e.Workers))
+		res, err := cl.Run(tr)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", c.fleet, c.router, err)
+		}
+		c.res = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		routingRow(tab, c.fleet, c.n, c.router, c.res)
+	}
 	return nil
 }
 
@@ -130,19 +164,23 @@ func ClusterRouting(e Env, replicaCounts []int) (*stats.Table, error) {
 	}
 	tab := routingTable()
 	dpCfg := serve.Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+	var cells []routingCell
 	for _, n := range replicaCounts {
 		for _, name := range serve.RouterNames {
-			router, err := serve.NewRouter(name)
-			if err != nil {
-				return nil, err
-			}
-			cl := serve.DPCluster(fmt.Sprintf("dp%d", n), dpCfg, n)
-			cl.Lockstep = false // independent servers behind a balancer
-			cl.Router = router
-			if err := routingRow(tab, "homogeneous", n, cl, tr); err != nil {
-				return nil, err
-			}
+			cells = append(cells, routingCell{
+				fleet: "homogeneous", n: n, router: name,
+				build: func(router serve.Router, workers int) serve.Cluster {
+					cl := serve.DPCluster(fmt.Sprintf("dp%d", n), dpCfg, n)
+					cl.Lockstep = false // independent servers behind a balancer
+					cl.Router = router
+					cl.Parallelism = workers
+					return cl
+				},
+			})
 		}
+	}
+	if err := runRoutingCells(e, tab, cells, tr); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }
@@ -158,17 +196,22 @@ func HeteroRouting(e Env) (*stats.Table, error) {
 	}
 	small := serve.Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
 	big := serve.Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 2}}
+	heteroCfgs := []serve.Config{small, small, small, small, big, big}
 	tab := routingTable()
+	var cells []routingCell
 	for _, name := range serve.RouterNames {
-		router, err := serve.NewRouter(name)
-		if err != nil {
-			return nil, err
-		}
-		cl := serve.HeteroCluster("hetero", small, small, small, small, big, big)
-		cl.Router = router
-		if err := routingRow(tab, "hetero-4x1+2x2", len(cl.Configs), cl, tr); err != nil {
-			return nil, err
-		}
+		cells = append(cells, routingCell{
+			fleet: "hetero-4x1+2x2", n: len(heteroCfgs), router: name,
+			build: func(router serve.Router, workers int) serve.Cluster {
+				cl := serve.HeteroCluster("hetero", heteroCfgs...)
+				cl.Router = router
+				cl.Parallelism = workers
+				return cl
+			},
+		})
+	}
+	if err := runRoutingCells(e, tab, cells, tr); err != nil {
+		return nil, err
 	}
 	return tab, nil
 }

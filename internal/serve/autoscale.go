@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/conc"
 	"repro/internal/workload"
 )
 
@@ -326,7 +327,7 @@ type replica struct {
 // selection key.
 func (rep *replica) remaining() int {
 	e := rep.engine
-	return len(e.waiting) + len(e.running) + len(e.arrivals) - e.nextIdx
+	return e.waiting.len() + len(e.running) + len(e.arrivals) - e.nextIdx
 }
 
 // fleetState is the autoscale controller's run state.
@@ -334,6 +335,9 @@ type fleetState struct {
 	ac           AutoscaleConfig
 	name         string
 	recordEvents bool
+	// workers bounds the pool that steps live replicas concurrently
+	// between controller events (<=1 steps serially).
+	workers      int
 	replicas     []*replica
 	samples      []FleetSample
 	scaleUps     int
@@ -409,13 +413,20 @@ func (f *fleetState) promote(now time.Duration) {
 }
 
 // advance steps every live engine to the horizon and retires draining
-// replicas that have finished their in-flight work.
+// replicas that have finished their in-flight work. Engines share
+// nothing between controller events, so the stepping fans out over the
+// fleet's worker pool; replica state transitions run serially after the
+// barrier, in index order, so the result is byte-identical to a serial
+// advance (pinned by the determinism tests under -race).
 func (f *fleetState) advance(horizon time.Duration, final bool) {
-	for _, rep := range f.replicas {
+	conc.For(len(f.replicas), f.workers, func(i int) {
+		rep := f.replicas[i]
 		if rep.state == replicaRetired {
-			continue
+			return
 		}
 		rep.engine.stepUntil(horizon, final || rep.state == replicaDraining)
+	})
+	for _, rep := range f.replicas {
 		if rep.state == replicaDraining && rep.engine.finished() {
 			rep.state = replicaRetired
 			rep.retireAt = max(rep.drainAt, rep.engine.now)
@@ -506,9 +517,9 @@ func (f *fleetState) view(now time.Duration) FleetView {
 		case replicaRetired:
 			continue
 		}
-		v.QueuedRequests += len(e.waiting) + len(e.arrivals) - e.nextIdx
+		v.QueuedRequests += e.waiting.len() + len(e.arrivals) - e.nextIdx
 		v.RunningRequests += len(e.running)
-		for _, s := range e.waiting {
+		for _, s := range e.waiting.seqs() {
 			v.QueuedTokens += s.req.TotalTokens()
 		}
 		for _, r := range e.arrivals[e.nextIdx:] {
@@ -675,7 +686,10 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		r.reset()
 	}
 
-	fleet := &fleetState{ac: ac, name: c.Name, recordEvents: c.RecordEvents}
+	fleet := &fleetState{
+		ac: ac, name: c.Name, recordEvents: c.RecordEvents,
+		workers: conc.Workers(c.Parallelism),
+	}
 	for _, cfg := range c.Configs {
 		// The initial fleet is pre-provisioned: ready at time zero.
 		if err := fleet.spawn(cfg, 0, 0); err != nil {

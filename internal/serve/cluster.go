@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/conc"
 	"repro/internal/perf"
 	"repro/internal/workload"
 )
@@ -28,6 +29,14 @@ type Cluster struct {
 	// time instead of serving the whole trace on the initial Configs;
 	// see AutoscaleConfig. Requires Lockstep=false.
 	Autoscale *AutoscaleConfig
+	// Parallelism bounds the worker pool that steps independent
+	// (non-lockstep) replicas concurrently: 0 uses GOMAXPROCS, 1 forces
+	// the serial path. Every setting produces byte-identical Results —
+	// replicas share nothing after arrival-time routing and results are
+	// gathered in replica-index order (pinned by the determinism tests
+	// under -race). Lockstep clusters always step serially: their
+	// replicas synchronize every iteration.
+	Parallelism int
 }
 
 // DPCluster returns n data-parallel replicas of the config (each replica
@@ -89,8 +98,15 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 	if c.Lockstep && len(engines) > 1 {
 		metrics = runLockstep(engines, assigned)
 	} else {
-		for i, e := range engines {
-			metrics = append(metrics, e.Run(assigned[i])...)
+		// Independent replicas share nothing after routing: drain each
+		// share on the worker pool and gather in replica-index order, so
+		// the output is byte-identical to the serial path.
+		shares := make([][]RequestMetrics, len(engines))
+		conc.For(len(engines), conc.Workers(c.Parallelism), func(i int) {
+			shares[i] = engines[i].Run(assigned[i])
+		})
+		for _, share := range shares {
+			metrics = append(metrics, share...)
 		}
 	}
 	return buildResult(c.Name, metrics, engines), nil

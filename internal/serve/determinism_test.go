@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// encodeResult renders a Result canonically for byte-for-byte
+// comparison: the full JSON encoding (per-request metrics in gather
+// order, every counter, fleet and region accounting) plus the
+// percentile summaries of the aggregate samples, whose raw values JSON
+// does not reach.
+func encodeResult(t *testing.T, res *Result) string {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data) + fmt.Sprintf("|ttft=%v|tpot=%v|compl=%v",
+		res.TTFT.Summarize(), res.TPOT.Summarize(), res.Completion.Summarize())
+}
+
+// determinismTrace is a bursty SLO-stamped workload heavy enough to
+// queue, preempt, and trigger scaling on small single-GPU fleets.
+func determinismTrace(t *testing.T, seed uint64) *workload.Trace {
+	t.Helper()
+	sizes := workload.LognormalSize{
+		MedianIn: 1200, SigmaIn: 0.7, MaxIn: 8000, MinIn: 64,
+		MedianOut: 200, SigmaOut: 0.5, MaxOut: 600, MinOut: 16,
+	}
+	dur := 45 * time.Second
+	parts := []*workload.Trace{
+		workload.Poisson("steady", tensor.NewRNG(seed), 1.5, dur, sizes, "interactive"),
+		workload.Burst("burst", tensor.NewRNG(seed^0xb), 40, dur/3, 10*time.Second, sizes, "interactive"),
+	}
+	tr := workload.Merge("determinism", parts...)
+	tr.Stamp("", 1, workload.Deadline(1500*time.Millisecond, 200*time.Millisecond))
+	return tr
+}
+
+// runBoth runs the same deployment serially and on a forced-wide worker
+// pool and returns both encodings. Run under -race, this is also the
+// data-race probe for the concurrent stepping paths.
+func runBoth(t *testing.T, run func(parallelism int) (*Result, error)) (serial, parallel string) {
+	t.Helper()
+	sres, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encodeResult(t, sres), encodeResult(t, pres)
+}
+
+// TestClusterRunParallelMatchesSerial pins the tentpole contract on the
+// plain fleet path: stepping independent replicas on a worker pool is
+// byte-identical to the serial loop.
+func TestClusterRunParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := determinismTrace(t, 7)
+	serial, parallel := runBoth(t, func(p int) (*Result, error) {
+		cl := DPCluster("det", Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}, 4)
+		cl.Lockstep = false
+		cl.Parallelism = p
+		return cl.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel Cluster.Run diverged from the serial path")
+	}
+}
+
+// TestAutoscaleParallelMatchesSerial pins the contract on the
+// autoscaled path, where replicas are stepped concurrently between
+// controller evaluation horizons while spawns, drains, and routing stay
+// serial.
+func TestAutoscaleParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := determinismTrace(t, 11)
+	serial, parallel := runBoth(t, func(p int) (*Result, error) {
+		cl := DPCluster("det-auto", Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}, 2)
+		cl.Lockstep = false
+		cl.Parallelism = p
+		cl.Autoscale = &AutoscaleConfig{
+			Scaler:    NewQueueDepthAutoscaler(),
+			Interval:  5 * time.Second,
+			ColdStart: 5 * time.Second,
+			Min:       2,
+			Max:       6,
+		}
+		return cl.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel autoscaled run diverged from the serial path")
+	}
+}
+
+// TestGeoParallelMatchesSerial pins the contract on the geo tier:
+// regions (and replicas within them) advance concurrently between
+// controller events, while geo routing and per-region evaluation ticks
+// stay serial and index-ordered.
+func TestGeoParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := determinismTrace(t, 13)
+	// Stamp half the traffic as remote-origin so spill-over has a real
+	// two-region workload.
+	for i := range tr.Requests {
+		if i%3 == 0 {
+			tr.Requests[i].Origin = "east"
+		} else {
+			tr.Requests[i].Origin = "west"
+		}
+	}
+	serial, parallel := runBoth(t, func(p int) (*Result, error) {
+		regions := make([]Region, 2)
+		for i := range regions {
+			regions[i] = Region{
+				Configs: []Config{
+					{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}},
+					{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}},
+				},
+				Autoscale: &AutoscaleConfig{
+					Scaler:    NewQueueDepthAutoscaler(),
+					Interval:  5 * time.Second,
+					ColdStart: 5 * time.Second,
+					Min:       2,
+					Max:       4,
+				},
+			}
+		}
+		g := Geo{
+			Name:        "det-geo",
+			Topology:    UniformTopology(120*time.Millisecond, "west", "east"),
+			Regions:     regions,
+			Router:      NewSpillOverRouter(),
+			Parallelism: p,
+		}
+		return g.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel Geo.Run diverged from the serial path")
+	}
+}
+
+// TestRejectReasonsSplitRejectedCount exercises both named rejection
+// causes and checks the Result split covers the total.
+func TestRejectReasonsSplitRejectedCount(t *testing.T) {
+	cm := llamaCM(t)
+	cfg := Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+	e := mustEngine(t, cfg)
+	capTok := e.KVCapacityTokens()
+
+	// A prompt larger than the whole cache, and one that fits at arrival
+	// but whose preemption-by-recompute growth pushes it past the cache.
+	reqs := []workload.Request{
+		{ID: 0, InputTokens: capTok + 1, OutputTokens: 4},
+		{ID: 1, InputTokens: capTok - e.cfg.BlockTokens, OutputTokens: capTok},
+	}
+	res, err := SingleEngine("rej", cfg).Run(&workload.Trace{Name: "rej", Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 2 || res.RejectedUnservable != 2 {
+		t.Fatalf("rejected %d (unservable %d), want 2/2", res.Rejected, res.RejectedUnservable)
+	}
+	for _, m := range res.PerRequest {
+		if m.Rejected && m.RejectReason != RejectUnservablePrompt {
+			t.Fatalf("request %d rejected with reason %q", m.ID, m.RejectReason)
+		}
+	}
+}
+
+// TestLoneRunnerRejectionCountsKVExhausted pins resolveEmpty's
+// memory-stuck branch onto the KV-exhausted stat: an admitted lone
+// runner the engine gives up on is a different failure (and a different
+// regression signal) than a prompt that never fit.
+func TestLoneRunnerRejectionCountsKVExhausted(t *testing.T) {
+	cm := llamaCM(t)
+	e := mustEngine(t, Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}})
+	s := &seq{firstTok: -1, effInput: 64, prefilled: 32,
+		req: workload.Request{ID: 1, InputTokens: 64, OutputTokens: 8}}
+	if err := e.alloc.Ensure(1, 32); err != nil {
+		t.Fatal(err)
+	}
+	e.running = []*seq{s}
+	if !e.resolveEmpty() {
+		t.Fatal("resolveEmpty did not act on the memory-stuck lone runner")
+	}
+	if s.rejectReason != RejectKVExhausted {
+		t.Fatalf("lone runner rejected with reason %q, want %q", s.rejectReason, RejectKVExhausted)
+	}
+	res := buildResult("rej", e.metrics(nil), []*Engine{e})
+	if res.RejectedKVExhausted != 1 || res.Rejected != 1 {
+		t.Fatalf("stat split kv=%d rejected=%d, want 1/1", res.RejectedKVExhausted, res.Rejected)
+	}
+}

@@ -106,6 +106,21 @@ func (c Config) Validate() error {
 	return c.Stack.Validate()
 }
 
+// RejectReason names why an engine rejected a request, so admission
+// regressions show up as a shifted reason mix rather than a bare count.
+type RejectReason string
+
+const (
+	// RejectKVExhausted marks an admitted sequence whose KV growth
+	// exceeded the whole cache: a lone runner that could not continue
+	// even with every other sequence evicted.
+	RejectKVExhausted RejectReason = "kv-exhausted"
+	// RejectUnservablePrompt marks a prompt that could never be admitted:
+	// larger than the engine's entire KV cache (directly, or after
+	// preemption grew its recompute length past it).
+	RejectUnservablePrompt RejectReason = "unservable-prompt"
+)
+
 // seq is a request in flight.
 type seq struct {
 	req workload.Request
@@ -121,6 +136,8 @@ type seq struct {
 	firstTok  time.Duration // -1 until produced
 	finished  time.Duration
 	preempted int
+	// rejectReason is set when the engine gives up on the sequence.
+	rejectReason RejectReason
 }
 
 func (s *seq) ctx() int { return s.prefilled + int(s.decoded) }
@@ -131,13 +148,77 @@ func (s *seq) done() bool {
 	return s.prefillDone() && int(s.decoded) >= s.req.OutputTokens
 }
 
+// waitQueue is the engine's waiting queue. Preemption-by-recompute
+// re-queues victims at the head (vLLM semantics), which as a plain slice
+// costs a fresh O(n) allocation-and-copy per preemption — preemption
+// storms were O(n²). The queue keeps spare slots in front of the head
+// instead, so push-front is O(1) amortized and near-head removals shift
+// the short side only; ordering and iteration semantics are identical to
+// the old slice (pinned by the engine tests and BENCH regressions).
+type waitQueue struct {
+	buf  []*seq // buf[head:] is the live queue, buf[:head] is slack
+	head int
+}
+
+func (q *waitQueue) len() int      { return len(q.buf) - q.head }
+func (q *waitQueue) at(i int) *seq { return q.buf[q.head+i] }
+
+// seqs returns the live queue in order; the slice aliases the queue, so
+// callers may reorder in place (orderWaiting) but not insert or delete.
+func (q *waitQueue) seqs() []*seq { return q.buf[q.head:] }
+
+func (q *waitQueue) pushBack(s *seq) { q.buf = append(q.buf, s) }
+
+func (q *waitQueue) pushFront(s *seq) {
+	if q.head == 0 {
+		n := len(q.buf)
+		slack := n/2 + 4
+		nb := make([]*seq, slack+n)
+		copy(nb[slack:], q.buf)
+		q.buf, q.head = nb, slack
+	}
+	q.head--
+	q.buf[q.head] = s
+}
+
+// removeAt deletes the element at index i preserving order, shifting
+// whichever side of the queue is shorter (admission removes near the
+// head, where this is O(1)-ish rather than O(n)).
+func (q *waitQueue) removeAt(i int) {
+	if n := q.len(); i < n-1-i {
+		copy(q.buf[q.head+1:q.head+i+1], q.buf[q.head:q.head+i])
+		q.buf[q.head] = nil
+		q.head++
+	} else {
+		copy(q.buf[q.head+i:], q.buf[q.head+i+1:])
+		q.buf[len(q.buf)-1] = nil
+		q.buf = q.buf[:len(q.buf)-1]
+	}
+}
+
+// clear empties the queue, dropping element references but keeping the
+// backing capacity.
+func (q *waitQueue) clear() {
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf, q.head = q.buf[:0], 0
+}
+
+// set replaces the queue contents (tests build scheduling scenarios
+// directly).
+func (q *waitQueue) set(ss []*seq) {
+	q.clear()
+	q.buf = append(q.buf, ss...)
+}
+
 // Engine simulates one inference engine over its share of a trace.
 type Engine struct {
 	cfg       Config
 	alloc     *kvcache.Allocator
 	arrivals  []workload.Request
 	nextIdx   int
-	waiting   []*seq
+	waiting   waitQueue
 	running   []*seq
 	now       time.Duration
 	completed []*seq
@@ -146,6 +227,14 @@ type Engine struct {
 	// Priority or an SLO; until then every scheduling decision is
 	// bit-for-bit identical to the FIFO engine.
 	sloAware bool
+
+	// Reusable per-iteration buffers: exactly one plan is alive between
+	// schedule and apply, so the backing arrays are recycled instead of
+	// reallocated every iteration (engine hot path).
+	planPrefills []*seq
+	planChunks   []int
+	planDecodes  []*seq
+	urgentsBuf   []urgentDemand
 
 	// Accounting.
 	iters        int
@@ -198,6 +287,12 @@ func (e *Engine) KVCapacityTokens() int { return e.alloc.NumBlocks * e.alloc.Blo
 // returns per-request metrics. Requests must be time-ordered.
 func (e *Engine) Run(reqs []workload.Request) []RequestMetrics {
 	e.arrivals = reqs
+	if cap(e.completed) == 0 {
+		e.completed = make([]*seq, 0, len(reqs))
+	}
+	if e.recordEvents && e.events == nil {
+		e.events = make([]IterEvent, 0, eventCapHint(reqs))
+	}
 	for !e.finished() {
 		e.admit()
 		plan := e.schedule()
@@ -214,9 +309,22 @@ func (e *Engine) Run(reqs []workload.Request) []RequestMetrics {
 	return e.metrics(reqs)
 }
 
+// eventCapHint sizes the IterEvent buffer from the trace: the iteration
+// count is bounded below by the decode-token volume over the max batch
+// size and above by the total token volume; one slot per request plus an
+// eighth of the output volume lands within a doubling or two of real
+// traces without overcommitting memory.
+func eventCapHint(reqs []workload.Request) int {
+	out := 0
+	for _, r := range reqs {
+		out += r.OutputTokens
+	}
+	return len(reqs) + out/8
+}
+
 // finished reports whether the engine has drained all work.
 func (e *Engine) finished() bool {
-	return e.nextIdx >= len(e.arrivals) && len(e.waiting) == 0 && len(e.running) == 0
+	return e.nextIdx >= len(e.arrivals) && e.waiting.len() == 0 && len(e.running) == 0
 }
 
 // admit moves arrivals up to the current time into the waiting queue.
@@ -228,7 +336,7 @@ func (e *Engine) admit() {
 			// At least the prompt's last token always runs (vLLM APC).
 			cached = r.InputTokens - 1
 		}
-		e.waiting = append(e.waiting, &seq{
+		e.waiting.pushBack(&seq{
 			req: r, effInput: r.InputTokens, cached: cached, prefilled: cached,
 			enqueued: r.Arrival, firstTok: -1,
 		})
@@ -264,14 +372,18 @@ func (e *Engine) resolveEmpty() bool {
 		s := e.running[0]
 		e.alloc.Release(s.req.ID)
 		e.running = nil
+		s.rejectReason = RejectKVExhausted
 		e.rejected = append(e.rejected, s)
 		return true
 	}
-	if e.nextArrival() < 0 && len(e.waiting) > 0 {
+	if e.nextArrival() < 0 && e.waiting.len() > 0 {
 		// Nothing runnable and nothing arriving: remaining waiters can
 		// never be admitted (prompt larger than the whole cache).
-		e.rejected = append(e.rejected, e.waiting...)
-		e.waiting = nil
+		for _, s := range e.waiting.seqs() {
+			s.rejectReason = RejectUnservablePrompt
+			e.rejected = append(e.rejected, s)
+		}
+		e.waiting.clear()
 		return true
 	}
 	return false
@@ -300,8 +412,16 @@ func (b batchPlan) tokens() int {
 // policy: decodes first (one token per running sequence), then prefill
 // chunks up to the token budget, admitting waiting requests while KV
 // blocks remain.
+// urgentDemand is one at-risk waiter's reserved prefill budget (step 2).
+type urgentDemand struct{ prio, chunk int }
+
 func (e *Engine) schedule() batchPlan {
-	plan := batchPlan{specTokens: e.cfg.Stack.Spec.VerifyTokensPerSeq()}
+	plan := batchPlan{
+		specTokens: e.cfg.Stack.Spec.VerifyTokensPerSeq(),
+		prefills:   e.planPrefills[:0],
+		chunks:     e.planChunks[:0],
+		decodes:    e.planDecodes[:0],
+	}
 
 	// 0. SLO scheduling (no-op until a request carries Priority/SLO):
 	// order the waiting queue by urgency and priority, and claim KV from
@@ -363,8 +483,7 @@ func (e *Engine) schedule() batchPlan {
 	// enough budget is reserved for at-risk (urgent) waiters that
 	// strictly-lower-priority prefills cannot crowd them out of step 3 —
 	// they still use whatever budget the reservation leaves over.
-	type urgentDemand struct{ prio, chunk int }
-	var urgents []urgentDemand
+	urgents := e.urgentsBuf[:0]
 	if e.sloAware {
 		// Reserve only for at-risk waiters step 3 could actually admit,
 		// and never more than the iteration has left — otherwise large
@@ -374,7 +493,7 @@ func (e *Engine) schedule() batchPlan {
 		// waiter against what would remain, by shrinking the budget and
 		// raising the watermark by the blocks already spoken for.
 		reserved, reservedBlocks := 0, 0
-		for _, w := range e.waiting { // priority-ordered: best waiters reserve first
+		for _, w := range e.waiting.seqs() { // priority-ordered: best waiters reserve first
 			if !e.atRisk(w) || !e.canAdmit(w, budget-reserved, watermark+reservedBlocks) {
 				continue
 			}
@@ -429,11 +548,12 @@ func (e *Engine) schedule() batchPlan {
 	// traffic through would starve the blocked request indefinitely
 	// under sustained load.
 	blockedPrio, anyBlocked := 0, false
-	for i := 0; i < len(e.waiting) && budget > 0 && len(e.running) < e.cfg.MaxSeqs; {
-		s := e.waiting[i]
+	for i := 0; i < e.waiting.len() && budget > 0 && len(e.running) < e.cfg.MaxSeqs; {
+		s := e.waiting.at(i)
 		if e.alloc.BlocksFor(s.effInput) > e.alloc.NumBlocks {
+			s.rejectReason = RejectUnservablePrompt
 			e.rejected = append(e.rejected, s)
-			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+			e.waiting.removeAt(i)
 			continue
 		}
 		if !e.canAdmit(s, budget, watermark) {
@@ -456,18 +576,23 @@ func (e *Engine) schedule() batchPlan {
 		if err := e.alloc.Ensure(s.req.ID, s.prefilled+chunk); err != nil {
 			break
 		}
-		e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+		e.waiting.removeAt(i)
 		e.running = append(e.running, s)
 		plan.prefills = append(plan.prefills, s)
 		plan.chunks = append(plan.chunks, chunk)
 		budget -= chunk
 	}
+	// Hand the (possibly regrown) buffers back for the next iteration.
+	e.planPrefills, e.planChunks, e.planDecodes = plan.prefills, plan.chunks, plan.decodes
+	e.urgentsBuf = urgents
 	return plan
 }
 
 // preemptAt applies vLLM's recompute preemption to running[i]: the
 // sequence loses its KV blocks and will re-prefill its prompt plus
-// already-generated tokens, from the head of the waiting queue.
+// already-generated tokens, from the head of the waiting queue. The
+// re-queue is an O(1) push-front (see waitQueue) — a preemption storm
+// used to reallocate the whole waiting queue per victim.
 func (e *Engine) preemptAt(i int) {
 	s := e.running[i]
 	e.alloc.Release(s.req.ID)
@@ -477,7 +602,7 @@ func (e *Engine) preemptAt(i int) {
 	s.preempted++
 	e.preemptions++
 	e.running = append(e.running[:i], e.running[i+1:]...)
-	e.waiting = append([]*seq{s}, e.waiting...)
+	e.waiting.pushFront(s)
 }
 
 // victimAfter picks the preemption victim among running[after+1:]. The
@@ -504,15 +629,24 @@ func (e *Engine) victimAfter(after int) int {
 // keys keep today's order). Priority outranks urgency so loose-deadline
 // batch work that has waited long enough to turn urgent can never jump
 // ahead of interactive traffic.
+// The urgency key is time-dependent, so sortedness is re-checked with a
+// linear scan each call instead of a dirty flag; the scan skips the
+// stable sort on the common already-ordered queue (a stable sort of a
+// sorted slice is the identity, so skipping it changes nothing).
 func (e *Engine) orderWaiting() {
-	sort.SliceStable(e.waiting, func(a, b int) bool {
-		sa, sb := e.waiting[a], e.waiting[b]
+	w := e.waiting.seqs()
+	less := func(sa, sb *seq) bool {
 		if sa.req.Priority != sb.req.Priority {
 			return sa.req.Priority > sb.req.Priority
 		}
-		ua, ub := e.atRisk(sa), e.atRisk(sb)
-		return ua && !ub
-	})
+		return e.atRisk(sa) && !e.atRisk(sb)
+	}
+	for i := 1; i < len(w); i++ {
+		if less(w[i], w[i-1]) {
+			sort.SliceStable(w, func(a, b int) bool { return less(w[a], w[b]) })
+			return
+		}
+	}
 }
 
 // orderRunning sorts the running queue by descending Priority (stable,
@@ -520,10 +654,18 @@ func (e *Engine) orderWaiting() {
 // untouched when every priority matches). With low-priority work at the
 // tail, victimAfter's tail scan finds it first, and step 2 hands prefill
 // budget to high-priority sequences before low ones.
+// A linear sortedness scan skips the stable sort on the common
+// already-ordered queue (admission appends are the only way order
+// breaks; removals and retirements preserve it).
 func (e *Engine) orderRunning() {
-	sort.SliceStable(e.running, func(a, b int) bool {
-		return e.running[a].req.Priority > e.running[b].req.Priority
-	})
+	for i := 1; i < len(e.running); i++ {
+		if e.running[i].req.Priority > e.running[i-1].req.Priority {
+			sort.SliceStable(e.running, func(a, b int) bool {
+				return e.running[a].req.Priority > e.running[b].req.Priority
+			})
+			return
+		}
+	}
 }
 
 // atRisk reports whether a waiting sequence's TTFT can still be saved:
@@ -551,7 +693,7 @@ func (e *Engine) preemptForUrgent() {
 	// urgent) head must not mask an at-risk waiter behind it: rescue the
 	// highest-priority at-risk one.
 	var w *seq
-	for _, s := range e.waiting {
+	for _, s := range e.waiting.seqs() {
 		if e.atRisk(s) {
 			w = s
 			break
@@ -685,11 +827,4 @@ func (e *Engine) parFor(shape perf.Batch) perf.Parallelism {
 		return e.cfg.Par
 	}
 	return perf.Parallelism{SP: 1, TP: e.cfg.Par.World()}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/conc"
 	"repro/internal/workload"
 )
 
@@ -336,6 +337,13 @@ type Geo struct {
 	Router GeoRouter
 	// RecordEvents enables per-iteration event capture on every engine.
 	RecordEvents bool
+	// Parallelism bounds the worker pools that advance regions (and,
+	// within each region, replicas) concurrently between controller
+	// events: 0 uses GOMAXPROCS, 1 forces the serial path. Regions share
+	// nothing between events and routing/evaluation stays serial and
+	// ordered, so every setting produces byte-identical Results (pinned
+	// by the determinism tests under -race).
+	Parallelism int
 }
 
 // regionRun is the geo controller's per-region state: the fleet, its
@@ -410,8 +418,8 @@ func (rr *regionRun) view(now time.Duration) RegionView {
 			continue
 		}
 		e := rep.engine
-		v.QueuedRequests += len(e.waiting) + len(e.arrivals) - e.nextIdx
-		for _, s := range e.waiting {
+		v.QueuedRequests += e.waiting.len() + len(e.arrivals) - e.nextIdx
+		for _, s := range e.waiting.seqs() {
 			v.QueuedTokens += s.req.TotalTokens()
 		}
 		for _, r := range e.arrivals[e.nextIdx:] {
@@ -483,7 +491,10 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		if r, ok := ac.Scaler.(resettable); ok {
 			r.reset()
 		}
-		fleet := &fleetState{ac: ac, name: name, recordEvents: g.RecordEvents}
+		fleet := &fleetState{
+			ac: ac, name: name, recordEvents: g.RecordEvents,
+			workers: conc.Workers(g.Parallelism),
+		}
 		for _, cfg := range reg.Configs {
 			// Initial fleets are pre-provisioned: ready at time zero.
 			if err := fleet.spawn(cfg, 0, 0); err != nil {
@@ -520,6 +531,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		return true, nil
 	}
 
+	workers := conc.Workers(g.Parallelism)
 	for _, r := range t.Requests {
 		for {
 			more, err := tick(r.Arrival, false)
@@ -530,10 +542,13 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 				break
 			}
 		}
-		for _, rr := range runs {
-			rr.accrue(r.Arrival)
-			rr.fleet.advance(r.Arrival, false)
-		}
+		// Regions share nothing between controller events: advance them
+		// to the arrival concurrently. Views, geo routing, and evaluation
+		// ticks stay serial and index-ordered below.
+		conc.For(len(runs), workers, func(i int) {
+			runs[i].accrue(r.Arrival)
+			runs[i].fleet.advance(r.Arrival, false)
+		})
 		origin, err := originOfName(g.Topology, r.Origin)
 		if err != nil {
 			return nil, err

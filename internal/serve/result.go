@@ -25,8 +25,10 @@ type RequestMetrics struct {
 	Completion time.Duration
 	// Preemptions counts recompute evictions suffered.
 	Preemptions int
-	// Rejected marks requests the engine could never serve.
-	Rejected bool
+	// Rejected marks requests the engine could never serve; RejectReason
+	// names why (empty for served requests).
+	Rejected     bool
+	RejectReason RejectReason
 	// Priority and SLO echo the request's scheduling inputs so results
 	// can be audited per class.
 	Priority int
@@ -99,7 +101,8 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 		out = append(out, RequestMetrics{
 			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.Arrival,
 			InputTokens: s.req.InputTokens, OutputTokens: s.req.OutputTokens,
-			Rejected: true, Priority: s.req.Priority, SLO: s.req.SLO,
+			Rejected: true, RejectReason: s.rejectReason,
+			Priority: s.req.Priority, SLO: s.req.SLO,
 			Replica: e.cfg.Name, Origin: s.req.Origin,
 		})
 	}
@@ -118,7 +121,13 @@ type Result struct {
 	TotalTokens int
 	Makespan    time.Duration
 	Rejected    int
-	Preemptions int
+	// RejectedKVExhausted and RejectedUnservable split Rejected by cause:
+	// admitted work whose KV growth exceeded the whole cache versus
+	// prompts that could never fit. A shift between the two flags an
+	// admission-control regression that the bare count would hide.
+	RejectedKVExhausted int
+	RejectedUnservable  int
+	Preemptions         int
 	// SLOPreemptions counts evictions forced by at-risk TTFT deadlines
 	// (a subset of Preemptions).
 	SLOPreemptions int
@@ -329,6 +338,12 @@ func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Resu
 		}
 		if m.Rejected {
 			r.Rejected++
+			switch m.RejectReason {
+			case RejectKVExhausted:
+				r.RejectedKVExhausted++
+			case RejectUnservablePrompt:
+				r.RejectedUnservable++
+			}
 			continue
 		}
 		r.TTFT.AddDuration(m.TTFT)

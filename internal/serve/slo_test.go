@@ -218,9 +218,9 @@ func TestOrderWaitingPriorityOverUrgency(t *testing.T) {
 	if !e.atRisk(batch) || e.atRisk(chat) {
 		t.Fatal("test premise broken: batch should be at risk, chat not yet")
 	}
-	e.waiting = []*seq{batch, chat}
+	e.waiting.set([]*seq{batch, chat})
 	e.orderWaiting()
-	if e.waiting[0] != chat {
+	if e.waiting.at(0) != chat {
 		t.Fatal("urgent loose-deadline batch jumped ahead of higher-priority chat")
 	}
 }
@@ -268,7 +268,7 @@ func TestPreemptForUrgentSkipsNonUrgentHead(t *testing.T) {
 	if e.atRisk(head) || !e.atRisk(urgent) {
 		t.Fatal("test premise broken")
 	}
-	e.waiting = []*seq{head, urgent} // priority order puts the masked head first
+	e.waiting.set([]*seq{head, urgent}) // priority order puts the masked head first
 
 	e.preemptForUrgent()
 	if e.sloPreempts == 0 {
@@ -357,7 +357,7 @@ func TestBlockedHighPriorityNotStarved(t *testing.T) {
 	p0 := &seq{firstTok: -1, effInput: 16,
 		req: workload.Request{ID: 2, InputTokens: 16, OutputTokens: 8}}
 
-	e.waiting = []*seq{p5, p0}
+	e.waiting.set([]*seq{p5, p0})
 	plan := e.schedule()
 	for _, s := range plan.prefills {
 		if s == p0 {
@@ -372,7 +372,7 @@ func TestBlockedHighPriorityNotStarved(t *testing.T) {
 	if !e.atRisk(p0urgent) {
 		t.Fatal("test premise broken: rescue waiter should be at risk")
 	}
-	e.waiting = []*seq{p5, p0urgent}
+	e.waiting.set([]*seq{p5, p0urgent})
 	plan = e.schedule()
 	admitted := false
 	for _, s := range plan.prefills {

@@ -1,0 +1,143 @@
+// Simulator-performance benchmarks: unlike the Benchmark{Fig,Table}
+// harness (which regenerates the paper's results), BenchmarkSimulator_*
+// measures the simulator itself — engine hot-path time and allocations,
+// and the serial-vs-parallel wall clock of fleet stepping and sweep
+// fan-out. `make perfbench` runs them with -benchmem at a benchstat-
+// friendly count for before/after comparisons; cmd/simbench emits the
+// same axis as BENCH_simbench.json.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func benchCM(b *testing.B) *perf.CostModel {
+	b.Helper()
+	e := benchEnv()
+	return perf.MustNew(e.Node, model.Llama70B(), e.Params)
+}
+
+// BenchmarkSimulator_EngineBursty measures the engine hot path: one
+// single-GPU replica draining the quick bursty trace (queueing,
+// chunked prefill, preemption-by-recompute).
+func BenchmarkSimulator_EngineBursty(b *testing.B) {
+	cm := benchCM(b)
+	tr := trace.Bursty(42, 90*time.Second)
+	cfg := serve.Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := serve.SingleEngine("bench", cfg).Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator_EngineEvents isolates what RecordEvents adds on
+// the same replay (the preallocated IterEvent buffer keeps it cheap).
+func BenchmarkSimulator_EngineEvents(b *testing.B) {
+	cm := benchCM(b)
+	tr := trace.Bursty(42, 90*time.Second)
+	cfg := serve.Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := serve.SingleEngine("bench", cfg)
+		cl.RecordEvents = true
+		if _, err := cl.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator_PreemptStorm drives a KV-tight single-GPU replica
+// with a closed 256-request batch whose decode growth forces continuous
+// preemption-by-recompute against a ~200-deep waiting queue — the case
+// the waitQueue push-front rework takes from O(n²) copies to O(1).
+func BenchmarkSimulator_PreemptStorm(b *testing.B) {
+	cm := benchCM(b)
+	cfg := serve.Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}
+	tr := workload.Closed("storm", 256, 1024, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := serve.SingleEngine("storm", cfg).Run(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Preemptions == 0 {
+			b.Fatal("storm workload no longer preempts; resize the benchmark")
+		}
+	}
+}
+
+// benchFleet builds the 4-replica independent fleet both fleet
+// benchmarks run, differing only in pool width.
+func benchFleet(b *testing.B, parallelism int) (serve.Cluster, *workload.Trace) {
+	b.Helper()
+	cl := serve.DPCluster("bench", serve.Config{CM: benchCM(b), Par: perf.Parallelism{SP: 1, TP: 1}}, 4)
+	cl.Lockstep = false
+	cl.Parallelism = parallelism
+	return cl, trace.Bursty(42, 90*time.Second)
+}
+
+// BenchmarkSimulator_FleetSerial is the serial-reference fleet replay.
+func BenchmarkSimulator_FleetSerial(b *testing.B) {
+	cl, tr := benchFleet(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator_FleetParallel replays the same fleet on the worker
+// pool (byte-identical result; the delta against FleetSerial is the
+// concurrency win, ~1x on a single-core box).
+func BenchmarkSimulator_FleetParallel(b *testing.B) {
+	cl, tr := benchFleet(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator_SweepSerial runs the geobench quick grid on one
+// worker: the serial sweep reference.
+func BenchmarkSimulator_SweepSerial(b *testing.B) {
+	e := benchEnv()
+	e.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GeoServing(e, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator_SweepParallel fans the same grid over the default
+// (GOMAXPROCS) pool — the tentpole's sweep-level speedup.
+func BenchmarkSimulator_SweepParallel(b *testing.B) {
+	e := benchEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GeoServing(e, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
