@@ -1,6 +1,8 @@
 # One-command verify + bench harness. `make ci` is what the tier-1
 # gate runs in spirit: formatting, vet, the docs lint, the full test
-# suite under the race detector, and a single pass of every benchmark.
+# suite under the race detector, a single pass of every benchmark, and
+# the scenario-registry smoke (`simctl run -all -quick`, via
+# bench-json).
 
 GO ?= go
 PERFCOUNT ?= 5
@@ -29,15 +31,16 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# Machine-readable sweep results: run the bench cmds with -json (quick
-# scale) and validate that the emitted BENCH_*.json files parse — the
-# accumulating perf trajectory.
+# Registry smoke + machine-readable sweep results: run every registered
+# scenario at quick scale through simctl (a scenario that breaks — or a
+# new experiment that forgets to register — fails CI right here), write
+# each one's sections as BENCH_<scenario>.json, and validate every
+# emitted file in one jsonlint glob invocation. The four suite
+# scenarios (burstbench, clusterbench, geobench, simbench) regenerate
+# the accumulating perf-trajectory files under their historical names.
 bench-json:
-	$(GO) run ./cmd/burstbench -quick -json > /dev/null
-	$(GO) run ./cmd/clusterbench -quick -json > /dev/null
-	$(GO) run ./cmd/geobench -quick -json > /dev/null
-	$(GO) run ./cmd/simbench -quick -json > /dev/null
-	$(GO) run ./cmd/jsonlint BENCH_burstbench.json BENCH_clusterbench.json BENCH_geobench.json BENCH_simbench.json
+	$(GO) run ./cmd/simctl run -all -quick -json > /dev/null
+	$(GO) run ./cmd/jsonlint BENCH_*.json
 
 # Simulator-performance benchmarks (engine hot path, fleet stepping,
 # sweep fan-out) with allocation stats, repeated PERFCOUNT times so the

@@ -113,7 +113,9 @@ func BenchmarkFig07_Bursty(b *testing.B) {
 func BenchmarkFig08_TraceStats(b *testing.B) {
 	e := benchEnv()
 	for i := 0; i < b.N; i++ {
-		_ = experiments.Fig8(e)
+		if _, err := experiments.Fig8(e); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -301,7 +303,7 @@ func BenchmarkExtension_ExpertParallel(b *testing.B) {
 }
 
 // BenchmarkCluster_Routing sweeps the router policies x replica counts
-// on mixed interactive+batch SLO traffic (cmd/clusterbench's table).
+// on mixed interactive+batch SLO traffic (the cluster-routing scenario).
 func BenchmarkCluster_Routing(b *testing.B) {
 	e := benchEnv()
 	for i := 0; i < b.N; i++ {
@@ -322,7 +324,7 @@ func BenchmarkCluster_HeteroRouting(b *testing.B) {
 }
 
 // BenchmarkCluster_Autoscaling sweeps the autoscaler policies x
-// cold-start penalties on the bursty trace (cmd/burstbench's
+// cold-start penalties on the bursty trace (the autoscaling scenario's
 // provisioned-vs-attainment table).
 func BenchmarkCluster_Autoscaling(b *testing.B) {
 	e := benchEnv()
@@ -335,7 +337,7 @@ func BenchmarkCluster_Autoscaling(b *testing.B) {
 
 // BenchmarkCluster_Geo sweeps the geo routing policies x topology x
 // cold-start penalties over per-region autoscaled fleets
-// (cmd/geobench's spill-over break-even table).
+// (the geo-serving scenario's spill-over break-even table).
 func BenchmarkCluster_Geo(b *testing.B) {
 	e := benchEnv()
 	for i := 0; i < b.N; i++ {

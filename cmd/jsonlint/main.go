@@ -1,11 +1,11 @@
-// Command jsonlint validates the BENCH_*.json files the bench binaries
-// emit under -json: each must parse and contain at least one named
-// section with a non-empty table. `make bench-json` runs it after the
-// bench commands so CI fails on malformed perf output.
+// Command jsonlint validates the BENCH_*.json files `simctl run -json`
+// emits: each must parse and contain at least one named section with a
+// non-empty table. `make bench-json` runs it on every emitted file in
+// one glob invocation so CI fails on malformed perf output.
 //
 // Usage:
 //
-//	jsonlint BENCH_burstbench.json BENCH_clusterbench.json ...
+//	jsonlint BENCH_*.json
 package main
 
 import (

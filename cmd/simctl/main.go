@@ -1,0 +1,204 @@
+// Command simctl is the single CLI over the scenario registry: every
+// experiment the simulator can run — paper figures and tables, routing
+// and autoscaling sweeps, the geo tier, the simulator-speed meter, and
+// the bench-trajectory suites — is a registered internal/scenario
+// Scenario, listed, parameterized, and executed uniformly. Scenario
+// knobs that used to be bespoke per-binary flags are declared typed
+// params, set with repeated -p key=value and validated by the registry.
+// With -json each scenario's sections are written as
+// BENCH_<scenario>.json via stats.WriteJSON (the accumulating perf
+// trajectory; cmd/jsonlint validates the files).
+//
+// Usage:
+//
+//	simctl list
+//	simctl run <scenario>... [-quick] [-seed N] [-workers N] [-json] [-out dir] [-p key=value]...
+//	simctl run -all -quick -json       # the CI smoke + bench trajectory
+//	simctl run geo-region-breakdown -p policy=spill-over -p coldstart=60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		runList()
+	case "run":
+		runRun(os.Args[2:])
+	case "help", "-h", "-help", "--help":
+		usage()
+	default:
+		log.Printf("simctl: unknown command %q", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  simctl list                      show every registered scenario
+  simctl run <scenario>... [opts]  run the named scenarios
+  simctl run -all [opts]           run every registered scenario
+
+run options:
+  -quick         reduced workload scales (CI smoke; full scale reproduces the paper)
+  -seed N        workload seed (default 42)
+  -workers N     sweep/simulator worker pools (0 = GOMAXPROCS, 1 = serial)
+  -json          write each scenario's sections as BENCH_<scenario>.json
+  -out dir       directory for the BENCH files (default .)
+  -p key=value   set a declared scenario param (repeatable; simctl list shows them)
+`)
+}
+
+// params collects repeated -p key=value flags.
+type params map[string]string
+
+func (p params) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p params) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	if _, dup := p[k]; dup {
+		return fmt.Errorf("param %q set twice", k)
+	}
+	p[k] = v
+	return nil
+}
+
+func runList() {
+	fmt.Println("Registered scenarios (run with: simctl run <name> [-p key=value]...):")
+	fmt.Println()
+	for _, s := range scenario.List() {
+		fmt.Printf("  %-24s %s\n", s.Name, s.Summary)
+		for _, p := range s.Params {
+			def := "unset"
+			if p.Default != nil {
+				def = fmt.Sprintf("%v", p.Default)
+			}
+			fmt.Printf("  %-24s   -p %s=<%s> (default %s): %s\n", "", p.Name, p.Kind, def, p.Help)
+		}
+	}
+}
+
+func runRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs.Usage = func() { usage(); os.Exit(2) }
+	all := fs.Bool("all", false, "run every registered scenario")
+	quick := fs.Bool("quick", false, "reduced workload scales")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	workers := fs.Int("workers", 0, "worker pools (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := fs.Bool("json", false, "write each scenario's sections as BENCH_<scenario>.json")
+	outDir := fs.String("out", ".", "directory for the BENCH files")
+	pvals := params{}
+	fs.Var(pvals, "p", "scenario param key=value (repeatable)")
+
+	// Accept flags before and after scenario names (flag.Parse stops at
+	// the first non-flag argument): peel positionals off and re-parse.
+	var names []string
+	rest := args
+	for {
+		fs.Parse(rest)
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		names = append(names, rest[0])
+		rest = rest[1:]
+	}
+
+	var scens []scenario.Scenario
+	switch {
+	case *all && len(names) > 0:
+		log.Fatal("simctl run: -all and explicit scenario names are mutually exclusive")
+	case *all:
+		scens = scenario.List()
+	case len(names) == 0:
+		log.Fatal("simctl run: name at least one scenario, or pass -all (see simctl list)")
+	default:
+		for _, name := range names {
+			s, ok := scenario.Get(name)
+			if !ok {
+				log.Fatalf("simctl run: unknown scenario %q (registered: %s)",
+					name, strings.Join(scenario.Names(), ", "))
+			}
+			scens = append(scens, s)
+		}
+	}
+
+	// Each scenario consumes the -p entries it declares; a key no
+	// selected scenario declares is an error, not a silent no-op — and
+	// all params parse before anything runs, so a typo cannot waste a
+	// full-scale sweep.
+	consumed := map[string]bool{}
+	values := make([]scenario.Values, len(scens))
+	for i, s := range scens {
+		sub := map[string]string{}
+		for k, v := range pvals {
+			if s.HasParam(k) {
+				sub[k] = v
+				consumed[k] = true
+			}
+		}
+		vals, err := s.Parse(sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		values[i] = vals
+	}
+	for k := range pvals {
+		if !consumed[k] {
+			log.Fatalf("simctl run: param %q is not declared by any selected scenario", k)
+		}
+	}
+
+	env := experiments.DefaultEnv()
+	env.Quick = *quick
+	env.Seed = *seed
+	env.Workers = *workers
+
+	for i, s := range scens {
+		fmt.Printf("=== %s: %s ===\n", s.Name, s.Summary)
+		sections, err := s.Run(scenario.Env(env), values[i])
+		if err != nil {
+			log.Fatalf("simctl run %s: %v", s.Name, err)
+		}
+		if len(sections) == 0 {
+			log.Fatalf("simctl run %s: scenario produced no sections", s.Name)
+		}
+		for _, sec := range sections {
+			fmt.Printf("--- %s ---\n", sec.Name)
+			fmt.Println(sec.Table)
+		}
+		if *jsonOut {
+			path := filepath.Join(*outDir, "BENCH_"+s.Name+".json")
+			if err := stats.WriteJSON(path, sections); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}

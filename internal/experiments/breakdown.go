@@ -46,32 +46,50 @@ func Fig15(e Env, m model.Config) (*stats.Table, error) {
 		lengths = []int{2048, 32768}
 	}
 	nReq := e.scale(128)
-	tab := stats.NewTable("Config", "Input", "Model s", "Attention s", "All-reduce s", "All-to-all s", "Engine s", "Total s")
-	for _, cfgDesc := range configs {
+	type axis struct {
+		cfg cfgDesc
+		n   int
+	}
+	var axes []axis
+	for _, c := range configs {
 		for _, n := range lengths {
-			cfg := serve.Config{CM: cm, Par: cfgDesc.par}
-			var cl serve.Cluster
-			if cfgDesc.reps > 1 {
-				cl = serve.DPCluster(cfgDesc.name, cfg, cfgDesc.reps)
-			} else {
-				cl = serve.SingleEngine(cfgDesc.name, cfg)
-			}
-			res, err := cl.Run(workload.Closed("batch", nReq, n, 250))
-			if err != nil || res.Rejected == len(res.PerRequest) {
-				// Configuration cannot hold this context (e.g. SP=8
-				// replicated weights leave no KV room at 128k).
-				tab.AddRow(cfgDesc.name, n, "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
-				continue
-			}
-			// Result cost sums across replicas; divide by the replica
-			// count so rows compare as wall-clock durations (replicas run
-			// concurrently).
-			c := res.Cost
-			r := time.Duration(cfgDesc.reps)
-			tab.AddRow(cfgDesc.name, n,
-				secsF(c.GEMM/r), secsF(c.Attn/r), secsF(c.AllReduce/r), secsF(c.AllToAll/r), secsF(c.Overhead/r),
-				secsF((c.GEMM+c.Attn+c.AllReduce+c.AllToAll+c.Overhead)/r))
+			axes = append(axes, axis{c, n})
 		}
+	}
+	cells, err := runCells(e, len(axes), func(i, _ int) (*serve.Result, error) {
+		a := axes[i]
+		cfg := serve.Config{CM: cm, Par: a.cfg.par}
+		var cl serve.Cluster
+		if a.cfg.reps > 1 {
+			cl = serve.DPCluster(a.cfg.name, cfg, a.cfg.reps)
+		} else {
+			cl = serve.SingleEngine(a.cfg.name, cfg)
+		}
+		res, err := cl.Run(workload.Closed("batch", nReq, a.n, 250))
+		if err != nil {
+			// Configuration cannot hold this context (e.g. SP=8 replicated
+			// weights leave no KV room at 128k): report the hole as a row.
+			return nil, nil
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Config", "Input", "Model s", "Attention s", "All-reduce s", "All-to-all s", "Engine s", "Total s")
+	for i, res := range cells {
+		a := axes[i]
+		if res == nil || res.Rejected == len(res.PerRequest) {
+			tab.AddRow(a.cfg.name, a.n, "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
+			continue
+		}
+		// Result cost sums across replicas; divide by the replica count so
+		// rows compare as wall-clock durations (replicas run concurrently).
+		c := res.Cost
+		r := time.Duration(a.cfg.reps)
+		tab.AddRow(a.cfg.name, a.n,
+			secsF(c.GEMM/r), secsF(c.Attn/r), secsF(c.AllReduce/r), secsF(c.AllToAll/r), secsF(c.Overhead/r),
+			secsF((c.GEMM+c.Attn+c.AllReduce+c.AllToAll+c.Overhead)/r))
 	}
 	return tab, nil
 }
@@ -113,13 +131,14 @@ func Fig16(e Env) (*stats.Table, error) {
 		{"Shift + SwiftKV + SpecDec", 2 * time.Millisecond, perf.Parallelism{SP: 8, TP: 1}, serve.StrategyShift, specdec.Stack{Spec: spec, SwiftKV: &sk}, false},
 	}
 
-	tab := stats.NewTable("System", "Throughput tok/s", "p95 Completion ms", "p50 Completion ms")
-	for _, s := range systems {
+	type cell struct{ tput, p95, p50 float64 }
+	cells, err := runCells(e, len(systems), func(i, _ int) (cell, error) {
+		s := systems[i]
 		params := e.Params
 		params.OverheadBase = s.overhead
 		cm, err := perf.New(e.Node, m, params)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		cfg := serve.Config{CM: cm, Par: s.par, Strategy: s.strategy, Stack: s.stack}
 		var cl serve.Cluster
@@ -130,13 +149,20 @@ func Fig16(e Env) (*stats.Table, error) {
 		}
 		resClosed, err := cl.Run(closed)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.name, err)
+			return cell{}, fmt.Errorf("%s: %w", s.name, err)
 		}
 		resOpen, err := cl.Run(open)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.name, err)
+			return cell{}, fmt.Errorf("%s: %w", s.name, err)
 		}
-		tab.AddRow(s.name, resClosed.Throughput(), resOpen.Completion.Percentile(95), resOpen.Completion.Median())
+		return cell{resClosed.Throughput(), resOpen.Completion.Percentile(95), resOpen.Completion.Median()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("System", "Throughput tok/s", "p95 Completion ms", "p50 Completion ms")
+	for i, c := range cells {
+		tab.AddRow(systems[i].name, c.tput, c.p95, c.p50)
 	}
 	return tab, nil
 }
@@ -172,14 +198,16 @@ func AblationThreshold(e Env, thresholds []int) (*stats.Table, error) {
 		}
 	}
 	tr := burstyTrace(e)
+	cells, err := runCells(e, len(thresholds), func(i, _ int) (*serve.Result, error) {
+		cfg := serve.Config{CM: cm, Par: perf.Parallelism{SP: 8, TP: 1}, Strategy: serve.StrategyShift, ShiftThreshold: thresholds[i]}
+		return serve.SingleEngine(fmt.Sprintf("thr=%d", thresholds[i]), cfg).Run(tr)
+	})
+	if err != nil {
+		return nil, err
+	}
 	tab := stats.NewTable("Threshold", "p50 TTFT ms", "p50 TPOT ms", "Throughput tok/s", "Base iters", "Shift iters")
-	for _, thr := range thresholds {
-		cfg := serve.Config{CM: cm, Par: perf.Parallelism{SP: 8, TP: 1}, Strategy: serve.StrategyShift, ShiftThreshold: thr}
-		res, err := serve.SingleEngine(fmt.Sprintf("thr=%d", thr), cfg).Run(tr)
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRow(thr, res.TTFT.Median(), res.TPOT.Median(), res.Throughput(), res.BaseIters, res.ShiftIters)
+	for i, res := range cells {
+		tab.AddRow(thresholds[i], res.TTFT.Median(), res.TPOT.Median(), res.Throughput(), res.BaseIters, res.ShiftIters)
 	}
 	return tab, nil
 }
@@ -198,14 +226,16 @@ func AblationChunkBudget(e Env, budgets []int) (*stats.Table, error) {
 		}
 	}
 	tr := burstyTrace(e)
+	cells, err := runCells(e, len(budgets), func(i, _ int) (*serve.Result, error) {
+		cfg := serve.Config{CM: cm, Par: perf.Parallelism{SP: 8, TP: 1}, Strategy: serve.StrategyShift, ChunkBudget: budgets[i]}
+		return serve.SingleEngine(fmt.Sprintf("chunk=%d", budgets[i]), cfg).Run(tr)
+	})
+	if err != nil {
+		return nil, err
+	}
 	tab := stats.NewTable("Chunk budget", "p50 TTFT ms", "p99 TTFT ms", "p50 TPOT ms", "Throughput tok/s")
-	for _, b := range budgets {
-		cfg := serve.Config{CM: cm, Par: perf.Parallelism{SP: 8, TP: 1}, Strategy: serve.StrategyShift, ChunkBudget: b}
-		res, err := serve.SingleEngine(fmt.Sprintf("chunk=%d", b), cfg).Run(tr)
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRow(b, res.TTFT.Median(), res.TTFT.P99(), res.TPOT.Median(), res.Throughput())
+	for i, res := range cells {
+		tab.AddRow(budgets[i], res.TTFT.Median(), res.TTFT.P99(), res.TPOT.Median(), res.Throughput())
 	}
 	return tab, nil
 }
@@ -215,34 +245,48 @@ func AblationChunkBudget(e Env, budgets []int) (*stats.Table, error) {
 // transpose penalty on every iteration.
 func AblationMemoryStrategy(e Env) (*stats.Table, error) {
 	m := model.Llama70B()
-	tab := stats.NewTable("Strategy", "Weights GB/GPU", "KV tokens", "TTFT ms", "TPOT ms", "Throughput tok/s")
-	for _, s := range []struct {
+	strategies := []struct {
 		name    string
 		penalty float64
 		shift   bool
 	}{
 		{"separate-models", 1.0, true},
 		{"on-the-fly-slicing", 0.88, false},
-	} {
+	}
+	par := perf.Parallelism{SP: 8, TP: 1}
+	type cell struct {
+		weightsGB  float64
+		kvTokens   int
+		ttft, tpot time.Duration
+		tput       float64
+	}
+	cells, err := runCells(e, len(strategies), func(i, _ int) (cell, error) {
+		s := strategies[i]
 		params := e.Params
 		params.SlicePenalty = s.penalty
 		cm, err := perf.New(e.Node, m, params)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		par := perf.Parallelism{SP: 8, TP: 1}
 		cfg := serve.Config{CM: cm, Par: par, Strategy: serve.StrategyShift}
 		cl := serve.SingleEngine(s.name, cfg)
 		ttft, tpot, err := cl.MinLatency(4096, 250)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		tput, err := cl.PeakThroughput(e.scale(240), 4096, 250)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		tab.AddRow(s.name, cm.WeightBytesPerGPU(par, s.shift)/1e9,
-			cm.KVCapacityTokens(par, s.shift), ms(ttft), ms(tpot), tput)
+		return cell{cm.WeightBytesPerGPU(par, s.shift) / 1e9,
+			cm.KVCapacityTokens(par, s.shift), ttft, tpot, tput}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Strategy", "Weights GB/GPU", "KV tokens", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	for i, c := range cells {
+		tab.AddRow(strategies[i].name, c.weightsGB, c.kvTokens, ms(c.ttft), ms(c.tpot), c.tput)
 	}
 	return tab, nil
 }
@@ -256,16 +300,22 @@ func AblationDPLockstep(e Env) (*stats.Table, error) {
 		return nil, err
 	}
 	tr := traceWindow(e, trace.AzureCode(e.Seed), 8)
-	tab := stats.NewTable("DP stepping", "p50 TTFT ms", "p99 TTFT ms", "Throughput tok/s")
-	for _, lock := range []bool{true, false} {
+	modes := []bool{true, false}
+	cells, err := runCells(e, len(modes), func(i, workers int) (*serve.Result, error) {
 		cl := serve.DPCluster("dp", serve.Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}, e.Node.NumGPUs)
-		cl.Lockstep = lock
-		res, err := cl.Run(tr)
-		if err != nil {
-			return nil, err
+		cl.Lockstep = modes[i]
+		if !modes[i] {
+			cl.Parallelism = workers // independent replicas may step concurrently
 		}
+		return cl.Run(tr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("DP stepping", "p50 TTFT ms", "p99 TTFT ms", "Throughput tok/s")
+	for i, res := range cells {
 		name := "independent replicas"
-		if lock {
+		if modes[i] {
 			name = "lockstep (vLLM DP)"
 		}
 		tab.AddRow(name, res.TTFT.Median(), res.TTFT.P99(), res.Throughput())

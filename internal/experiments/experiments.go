@@ -1,9 +1,12 @@
 // Package experiments implements one entry point per table and figure of
-// the paper's evaluation section. Each function builds the workload,
-// runs the serving simulator (or the functional engines), and returns
-// the same rows/series the paper reports. The cmd/ binaries and the
-// top-level benchmarks are thin wrappers over this package; the
-// per-experiment index lives in DESIGN.md.
+// the paper's evaluation section, plus the extension scenarios the
+// roadmap grew (routing, autoscaling, geo serving, simulator speed).
+// Each function builds the workload, runs the serving simulator (or the
+// functional engines), and returns the same rows/series the paper
+// reports. Every entry point is registered as an internal/scenario
+// Scenario (see registry.go) — the per-experiment index — which is what
+// cmd/simctl and the top-level benchmarks drive; sweeps fan their cells
+// out over the Env.Workers pool (see pool.go).
 package experiments
 
 import (
@@ -30,7 +33,9 @@ type Env struct {
 	// replica/region stepping pools): 0 uses GOMAXPROCS, 1 forces the
 	// serial path. Results are byte-identical at every setting — sweep
 	// cells are independent and rows assemble in submission order —
-	// which is what cmd/simbench measures the wall-clock difference of.
+	// which is what the simulator-speed scenario measures the wall-clock
+	// difference of. Mirrors scenario.Env (the registry's copy of these
+	// knobs); the two convert directly.
 	Workers int
 }
 
@@ -95,21 +100,31 @@ func Fig12(e Env, m model.Config) (*stats.Table, error) {
 	}
 	in, out := 4096, 250
 	nReq := e.scaleMin(400, 160)
-	tab := stats.NewTable("System", "TTFT ms", "TPOT ms", "Throughput tok/s",
-		"Response tok/s", "Generation tok/s")
-	for _, name := range Order {
-		cl := clusters[name]
+	type cell struct {
+		ttft, tpot time.Duration
+		tput       float64
+	}
+	cells, err := runCells(e, len(Order), func(i, _ int) (cell, error) {
+		cl := clusters[Order[i]]
 		ttft, tpot, err := cl.MinLatency(in, out)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return cell{}, fmt.Errorf("%s: %w", Order[i], err)
 		}
 		tput, err := cl.PeakThroughput(nReq, in, out)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return cell{}, fmt.Errorf("%s: %w", Order[i], err)
 		}
-		tab.AddRow(name,
-			ms(ttft), ms(tpot), tput,
-			float64(in)/ttft.Seconds(), 1/tpot.Seconds())
+		return cell{ttft, tpot, tput}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("System", "TTFT ms", "TPOT ms", "Throughput tok/s",
+		"Response tok/s", "Generation tok/s")
+	for i, c := range cells {
+		tab.AddRow(Order[i],
+			ms(c.ttft), ms(c.tpot), c.tput,
+			float64(in)/c.ttft.Seconds(), 1/c.tpot.Seconds())
 	}
 	return tab, nil
 }
@@ -128,22 +143,41 @@ func Fig13(e Env, m model.Config, systems []string) (*stats.Table, error) {
 	if e.Quick {
 		lengths = []int{2048, 8192, 32768}
 	}
-	tab := stats.NewTable("System", "Input", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	type axis struct {
+		name string
+		n    int
+	}
+	var axes []axis
 	for _, name := range systems {
-		cl := clusters[name]
 		for _, n := range lengths {
-			ttft, tpot, err := cl.MinLatency(n, 250)
-			if err != nil {
-				return nil, fmt.Errorf("%s @%d: %w", name, n, err)
-			}
-			// Saturation sized down as contexts grow (fixed token volume).
-			nReq := e.scale(max(32, 1<<20/n*4))
-			tput, err := cl.PeakThroughput(nReq, n, 250)
-			if err != nil {
-				return nil, fmt.Errorf("%s @%d: %w", name, n, err)
-			}
-			tab.AddRow(name, n, ms(ttft), ms(tpot), tput)
+			axes = append(axes, axis{name, n})
 		}
+	}
+	type cell struct {
+		ttft, tpot time.Duration
+		tput       float64
+	}
+	cells, err := runCells(e, len(axes), func(i, _ int) (cell, error) {
+		a := axes[i]
+		cl := clusters[a.name]
+		ttft, tpot, err := cl.MinLatency(a.n, 250)
+		if err != nil {
+			return cell{}, fmt.Errorf("%s @%d: %w", a.name, a.n, err)
+		}
+		// Saturation sized down as contexts grow (fixed token volume).
+		nReq := e.scale(max(32, 1<<20/a.n*4))
+		tput, err := cl.PeakThroughput(nReq, a.n, 250)
+		if err != nil {
+			return cell{}, fmt.Errorf("%s @%d: %w", a.name, a.n, err)
+		}
+		return cell{ttft, tpot, tput}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("System", "Input", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	for i, c := range cells {
+		tab.AddRow(axes[i].name, axes[i].n, ms(c.ttft), ms(c.tpot), c.tput)
 	}
 	return tab, nil
 }
@@ -162,16 +196,26 @@ func Fig14(e Env, m model.Config, rates []float64) (*stats.Table, error) {
 		}
 	}
 	dur := time.Duration(e.scale(240)) * time.Second
-	tab := stats.NewTable("System", "Rate req/s", "p50 Completion ms", "Mean Completion ms", "p50 TTFT ms")
+	type axis struct {
+		name string
+		rate float64
+	}
+	var axes []axis
 	for _, name := range []string{"DP", "TP", "Shift"} { // the paper's Fig 14 lines
 		for _, rate := range rates {
-			tr := poissonTrace(e, rate, dur)
-			res, err := clusters[name].Run(tr)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRow(name, rate, res.Completion.Median(), res.Completion.Mean(), res.TTFT.Median())
+			axes = append(axes, axis{name, rate})
 		}
+	}
+	results, err := runCells(e, len(axes), func(i, _ int) (*serve.Result, error) {
+		tr := poissonTrace(e, axes[i].rate, dur)
+		return clusters[axes[i].name].Run(tr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("System", "Rate req/s", "p50 Completion ms", "Mean Completion ms", "p50 TTFT ms")
+	for i, res := range results {
+		tab.AddRow(axes[i].name, axes[i].rate, res.Completion.Median(), res.Completion.Mean(), res.TTFT.Median())
 	}
 	return tab, nil
 }
@@ -190,7 +234,13 @@ func Fig17(e Env) (*stats.Table, error) {
 	if e.Quick {
 		lengths = []int{2048, 32768}
 	}
-	tab := stats.NewTable("Model", "System", "Input", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	type axis struct {
+		m      model.Config
+		cl     serve.Cluster
+		system string
+		n      int
+	}
+	var axes []axis
 	for _, m := range model.All() {
 		if m.Name == "Qwen-30B-A3B" {
 			// FP8 KV in production configs for the small-KV-head model.
@@ -201,24 +251,45 @@ func Fig17(e Env) (*stats.Table, error) {
 			return nil, err
 		}
 		for _, name := range Order {
-			cl := clusters[name]
 			for _, n := range lengths {
-				ttft, tpot, lerr := cl.MinLatency(n, 250)
-				if lerr != nil {
-					// DP cannot serve very long contexts for L17B-16E
-					// (weights leave too little KV on one GPU); report
-					// the hole instead of failing (Section 4.6).
-					tab.AddRow(m.Name, name, n, "n/a", "n/a", "n/a")
-					continue
-				}
-				nReq := e.scale(max(16, 1<<19/n*4))
-				tput, terr := cl.PeakThroughput(nReq, n, 250)
-				if terr != nil {
-					tab.AddRow(m.Name, name, n, ms(ttft), ms(tpot), "n/a")
-					continue
-				}
-				tab.AddRow(m.Name, name, n, ms(ttft), ms(tpot), tput)
+				axes = append(axes, axis{m, clusters[name], name, n})
 			}
+		}
+	}
+	type cell struct {
+		ttft, tpot time.Duration
+		tput       float64
+		// DP cannot serve very long contexts for L17B-16E (weights leave
+		// too little KV on one GPU); report the hole instead of failing
+		// (Section 4.6).
+		noLatency, noThroughput bool
+	}
+	cells, err := runCells(e, len(axes), func(i, _ int) (cell, error) {
+		a := axes[i]
+		ttft, tpot, lerr := a.cl.MinLatency(a.n, 250)
+		if lerr != nil {
+			return cell{noLatency: true, noThroughput: true}, nil
+		}
+		nReq := e.scale(max(16, 1<<19/a.n*4))
+		tput, terr := a.cl.PeakThroughput(nReq, a.n, 250)
+		if terr != nil {
+			return cell{ttft: ttft, tpot: tpot, noThroughput: true}, nil
+		}
+		return cell{ttft: ttft, tpot: tpot, tput: tput}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Model", "System", "Input", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	for i, c := range cells {
+		a := axes[i]
+		switch {
+		case c.noLatency:
+			tab.AddRow(a.m.Name, a.system, a.n, "n/a", "n/a", "n/a")
+		case c.noThroughput:
+			tab.AddRow(a.m.Name, a.system, a.n, ms(c.ttft), ms(c.tpot), "n/a")
+		default:
+			tab.AddRow(a.m.Name, a.system, a.n, ms(c.ttft), ms(c.tpot), c.tput)
 		}
 	}
 	return tab, nil
@@ -233,18 +304,24 @@ func Table1(e Env, m model.Config) (*stats.Table, error) {
 		return nil, err
 	}
 	type point struct{ ttft, tpot, tput float64 }
-	pts := map[string]point{}
-	for _, name := range Order {
-		cl := clusters[name]
+	cells, err := runCells(e, len(Order), func(i, _ int) (point, error) {
+		cl := clusters[Order[i]]
 		ttft, tpot, err := cl.MinLatency(4096, 250)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		tput, err := cl.PeakThroughput(e.scaleMin(240, 160), 4096, 250)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		pts[name] = point{ms(ttft), ms(tpot), tput}
+		return point{ms(ttft), ms(tpot), tput}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := map[string]point{}
+	for i, p := range cells {
+		pts[Order[i]] = p
 	}
 	grade := func(v, best float64, lowerBetter bool) string {
 		r := v / best
@@ -283,25 +360,31 @@ func Table3(e Env, m model.Config) (*stats.Table, error) {
 	}
 	static := []string{"DP", "TP", "SP"}
 	// Low traffic: lone request. High traffic: saturated batch.
+	type point struct{ lowTTFT, lowTPOT, highTput, highTTFT, highTPOT float64 }
+	cells, err := runCells(e, len(static), func(i, _ int) (point, error) {
+		cl := clusters[static[i]]
+		ttft, tpot, err := cl.MinLatency(4096, 250)
+		if err != nil {
+			return point{}, err
+		}
+		res, err := cl.Run(workload.Closed("hi", e.scaleMin(240, 160), 4096, 250))
+		if err != nil {
+			return point{}, err
+		}
+		return point{ms(ttft), ms(tpot), res.Throughput(), res.TTFT.Median(), res.TPOT.Median()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	lowTTFT := map[string]float64{}
 	lowTPOT := map[string]float64{}
 	highTput := map[string]float64{}
 	highTTFT := map[string]float64{}
 	highTPOT := map[string]float64{}
-	for _, name := range static {
-		cl := clusters[name]
-		ttft, tpot, err := cl.MinLatency(4096, 250)
-		if err != nil {
-			return nil, err
-		}
-		lowTTFT[name], lowTPOT[name] = ms(ttft), ms(tpot)
-		res, err := cl.Run(workload.Closed("hi", e.scaleMin(240, 160), 4096, 250))
-		if err != nil {
-			return nil, err
-		}
-		highTput[name] = res.Throughput()
-		highTTFT[name] = res.TTFT.Median()
-		highTPOT[name] = res.TPOT.Median()
+	for i, p := range cells {
+		name := static[i]
+		lowTTFT[name], lowTPOT[name] = p.lowTTFT, p.lowTPOT
+		highTput[name], highTTFT[name], highTPOT[name] = p.highTput, p.highTTFT, p.highTPOT
 	}
 	argMin := func(m map[string]float64) string {
 		best, bv := "", 0.0

@@ -118,7 +118,10 @@ func TestFig7Table5Shape(t *testing.T) {
 }
 
 func TestFig8TraceStats(t *testing.T) {
-	tab := Fig8(quickEnv())
+	tab, err := Fig8(quickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

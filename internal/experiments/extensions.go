@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"time"
+
 	"repro/internal/model"
 	"repro/internal/perf"
 	"repro/internal/serve"
@@ -13,7 +15,14 @@ import (
 // models: Shift Parallelism with and without EP sharding of the
 // experts, at small and large context.
 func ExtensionEP(e Env) (*stats.Table, error) {
-	tab := stats.NewTable("Model", "Config", "Weights GB/GPU", "KV tokens", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	type axis struct {
+		m    model.Config
+		cm   *perf.CostModel
+		name string
+		par  perf.Parallelism
+		ep   perf.EPConfig
+	}
+	var axes []axis
 	for _, m := range []model.Config{model.Llama17B16E(), model.Qwen30BA3B()} {
 		if m.Name == "Qwen-30B-A3B" {
 			m.KVDType = model.FP8
@@ -22,37 +31,48 @@ func ExtensionEP(e Env) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		type variant struct {
-			name string
-			par  perf.Parallelism
-			ep   perf.EPConfig
-		}
-		variants := []variant{
-			{"Shift " + BasePar(m).String(), BasePar(m), perf.EPConfig{}},
-			{"Shift " + BasePar(m).String() + "+EP8", BasePar(m), perf.EPConfig{Degree: 8}},
-		}
+		axes = append(axes,
+			axis{m, cm, "Shift " + BasePar(m).String(), BasePar(m), perf.EPConfig{}},
+			axis{m, cm, "Shift " + BasePar(m).String() + "+EP8", BasePar(m), perf.EPConfig{Degree: 8}})
 		if m.Name == "Llama-17B-16E" {
 			// EP frees enough memory to deploy the full-SP base config
 			// that plain Shift cannot (Section 4.6's memory wall).
-			variants = append(variants, variant{"Shift (SP=8)+EP8", perf.Parallelism{SP: 8, TP: 1}, perf.EPConfig{Degree: 8}})
+			axes = append(axes, axis{m, cm, "Shift (SP=8)+EP8", perf.Parallelism{SP: 8, TP: 1}, perf.EPConfig{Degree: 8}})
 		}
-		for _, v := range variants {
-			cfg := serve.Config{CM: cm, Par: v.par, Strategy: serve.StrategyShift, EP: v.ep}
-			cl := serve.SingleEngine(v.name, cfg)
-			ttft, tpot, err := cl.MinLatency(4096, 250)
-			if err != nil {
-				tab.AddRow(m.Name, v.name, cm.EPWeightBytesPerGPU(v.par, v.ep, true)/1e9, 0, "n/a", "n/a", "n/a")
-				continue
-			}
-			tput, err := cl.PeakThroughput(e.scaleMin(240, 160), 4096, 250)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRow(m.Name, v.name,
-				cm.EPWeightBytesPerGPU(v.par, v.ep, true)/1e9,
-				cm.EPKVCapacityTokens(v.par, v.ep, true),
-				ms(ttft), ms(tpot), tput)
+	}
+	type cell struct {
+		ttft, tpot   time.Duration
+		tput         float64
+		undeployable bool
+	}
+	cells, err := runCells(e, len(axes), func(i, _ int) (cell, error) {
+		a := axes[i]
+		cfg := serve.Config{CM: a.cm, Par: a.par, Strategy: serve.StrategyShift, EP: a.ep}
+		cl := serve.SingleEngine(a.name, cfg)
+		ttft, tpot, err := cl.MinLatency(4096, 250)
+		if err != nil {
+			return cell{undeployable: true}, nil
 		}
+		tput, err := cl.PeakThroughput(e.scaleMin(240, 160), 4096, 250)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{ttft, tpot, tput, false}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Model", "Config", "Weights GB/GPU", "KV tokens", "TTFT ms", "TPOT ms", "Throughput tok/s")
+	for i, c := range cells {
+		a := axes[i]
+		if c.undeployable {
+			tab.AddRow(a.m.Name, a.name, a.cm.EPWeightBytesPerGPU(a.par, a.ep, true)/1e9, 0, "n/a", "n/a", "n/a")
+			continue
+		}
+		tab.AddRow(a.m.Name, a.name,
+			a.cm.EPWeightBytesPerGPU(a.par, a.ep, true)/1e9,
+			a.cm.EPKVCapacityTokens(a.par, a.ep, true),
+			ms(c.ttft), ms(c.tpot), c.tput)
 	}
 	return tab, nil
 }
@@ -73,17 +93,19 @@ func AblationPrefixCache(e Env, rates []float64) (*stats.Table, error) {
 		}
 	}
 	tr := traceWindow(e, trace.AzureCode(e.Seed), 8)
-	tab := stats.NewTable("Hit rate", "p50 TTFT ms", "p99 TTFT ms", "p50 Compl ms", "Throughput tok/s")
-	for _, rate := range rates {
+	cells, err := runCells(e, len(rates), func(i, _ int) (*serve.Result, error) {
 		cfg := serve.Config{
 			CM: cm, Par: perf.Parallelism{SP: 8, TP: 1},
-			Strategy: serve.StrategyShift, PrefixCacheHitRate: rate,
+			Strategy: serve.StrategyShift, PrefixCacheHitRate: rates[i],
 		}
-		res, err := serve.SingleEngine("apc", cfg).Run(tr)
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRow(rate, res.TTFT.Median(), res.TTFT.P99(), res.Completion.Median(), res.Throughput())
+		return serve.SingleEngine("apc", cfg).Run(tr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Hit rate", "p50 TTFT ms", "p99 TTFT ms", "p50 Compl ms", "Throughput tok/s")
+	for i, res := range cells {
+		tab.AddRow(rates[i], res.TTFT.Median(), res.TTFT.P99(), res.Completion.Median(), res.Throughput())
 	}
 	return tab, nil
 }

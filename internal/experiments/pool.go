@@ -45,3 +45,29 @@ func (p *Pool) Run(n int, cell func(int) error) error {
 	}
 	return nil
 }
+
+// runCells fans n independent sweep cells over the env's worker pool
+// and returns their results in cell order, so tables built from them
+// are byte-identical to the serial loop at any pool width. Each cell
+// receives the width its own internal simulator pools should use (see
+// Pool.CellWorkers). This is how Env.Workers reaches every scenario:
+// any experiment whose loop runs one deployment per iteration fans out
+// through here. Cells must share only read-only state (traces, cost
+// models) and construct their own clusters/routers.
+func runCells[T any](e Env, n int, run func(i, workers int) (T, error)) ([]T, error) {
+	pool := NewPool(e.Workers)
+	cellWorkers := pool.CellWorkers(e.Workers)
+	out := make([]T, n)
+	err := pool.Run(n, func(i int) error {
+		v, err := run(i, cellWorkers)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

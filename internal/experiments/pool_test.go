@@ -4,6 +4,9 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
 )
 
 func TestPoolRunReturnsLowestIndexError(t *testing.T) {
@@ -53,5 +56,39 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("parallel sweep diverged from serial:\nserial:\n%v\nparallel:\n%v", serial, parallel)
+	}
+}
+
+// TestRunCellsScenariosMatchSerial extends the same contract to the
+// paper-figure loops that moved onto runCells: every scenario's table
+// must be byte-identical at any pool width (cells recompute exactly
+// what the serial loop did, and rows assemble in cell order).
+func TestRunCellsScenariosMatchSerial(t *testing.T) {
+	base := DefaultEnv()
+	base.Quick = true
+	sweeps := map[string]func(e Env) (*stats.Table, error){
+		"fig12": func(e Env) (*stats.Table, error) { return Fig12(e, model.Llama70B()) },
+		"fig14": func(e Env) (*stats.Table, error) { return Fig14(e, model.Llama70B(), []float64{1, 6}) },
+		"ablation-threshold": func(e Env) (*stats.Table, error) {
+			return AblationThreshold(e, []int{1, 256})
+		},
+		"extension-ep": func(e Env) (*stats.Table, error) { return ExtensionEP(e) },
+	}
+	for name, sweep := range sweeps {
+		serialEnv := base
+		serialEnv.Workers = 1
+		serial, err := sweep(serialEnv)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		parallelEnv := base
+		parallelEnv.Workers = 4
+		parallel, err := sweep(parallelEnv)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s diverged between pool widths:\nserial:\n%v\nparallel:\n%v", name, serial, parallel)
+		}
 	}
 }

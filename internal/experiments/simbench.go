@@ -15,11 +15,12 @@ import (
 // This file measures the simulator itself, not the systems it models:
 // wall-clock to replay the geobench sweep grid serially versus on the
 // worker pools, simulated-seconds advanced per wall-second, and the
-// engine hot path's allocation profile. cmd/simbench emits the result
-// as BENCH_simbench.json, giving the perf trajectory a simulator-speed
-// axis alongside the serving-quality sweeps. Because every pool width
-// produces byte-identical Results (pinned by the serve determinism
-// tests), the serial and parallel modes measure the same computation.
+// engine hot path's allocation profile. The simbench suite scenario
+// (`simctl run simbench -json`) emits the result as BENCH_simbench.json,
+// giving the perf trajectory a simulator-speed axis alongside the
+// serving-quality sweeps. Because every pool width produces
+// byte-identical Results (pinned by the serve determinism tests), the
+// serial and parallel modes measure the same computation.
 
 // simGridResult is one timed replay of the sweep grid.
 type simGridResult struct {

@@ -34,37 +34,47 @@ func Fig7Table5(e Env) (*stats.Table, map[string]*serve.Result, error) {
 		return nil, nil, err
 	}
 	tr := burstyTrace(e)
+	systems := []string{"DP", "TP", "Shift"} // Table 5's rows
+	cells, err := runCells(e, len(systems), func(i, _ int) (*serve.Result, error) {
+		cl := clusters[systems[i]]
+		cl.RecordEvents = true
+		return cl.Run(tr)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := stats.NewTable("System", "Median TTFT ms", "Median TPOT ms", "Peak Throughput tok/s", "p99 TTFT ms")
 	results := map[string]*serve.Result{}
-	for _, name := range []string{"DP", "TP", "Shift"} { // Table 5's rows
-		cl := clusters[name]
-		cl.RecordEvents = true
-		res, err := cl.Run(tr)
-		if err != nil {
-			return nil, nil, err
-		}
-		results[name] = res
+	for i, res := range cells {
+		results[systems[i]] = res
 		peak := res.ThroughputSeries(5 * time.Second).Peak()
-		tab.AddRow(name, res.TTFT.Median(), res.TPOT.Median(), peak, res.TTFT.P99())
+		tab.AddRow(systems[i], res.TTFT.Median(), res.TPOT.Median(), peak, res.TTFT.P99())
 	}
 	return tab, results, nil
 }
 
 // Fig8 summarizes the two production trace twins the way Figure 8 plots
-// them (request counts, size distributions, arrival rates).
-func Fig8(e Env) *stats.Table {
-	tab := stats.NewTable("Trace", "Requests", "Mean In", "Max In", "Mean Out", "Max Out", "Req/s", "Offered tok/s")
-	for _, tw := range []struct {
-		name string
-		t    *workload.Trace
+// them (request counts, size distributions, arrival rates). Twin
+// synthesis is the cost here, so the two builds fan out over the pool.
+func Fig8(e Env) (*stats.Table, error) {
+	twins := []struct {
+		name  string
+		build func() *workload.Trace
 	}{
-		{"Azure LLM Code (twin)", trace.AzureCode(e.Seed)},
-		{"Mooncake Conversation (twin)", trace.MooncakeConversation(e.Seed)},
-	} {
-		s := trace.Summarize(tw.t)
-		tab.AddRow(tw.name, s.Requests, s.MeanIn, s.MaxIn, s.MeanOut, s.MaxOut, s.ArrivalsPerS, s.OfferedRate)
+		{"Azure LLM Code (twin)", func() *workload.Trace { return trace.AzureCode(e.Seed) }},
+		{"Mooncake Conversation (twin)", func() *workload.Trace { return trace.MooncakeConversation(e.Seed) }},
 	}
-	return tab
+	cells, err := runCells(e, len(twins), func(i, _ int) (trace.Stats, error) {
+		return trace.Summarize(twins[i].build()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Trace", "Requests", "Mean In", "Max In", "Mean Out", "Max Out", "Req/s", "Offered tok/s")
+	for i, s := range cells {
+		tab.AddRow(twins[i].name, s.Requests, s.MeanIn, s.MaxIn, s.MeanOut, s.MaxOut, s.ArrivalsPerS, s.OfferedRate)
+	}
+	return tab, nil
 }
 
 // traceWindow optionally truncates a trace to its first 1/div for Quick
@@ -109,15 +119,21 @@ func Fig10Mooncake(e Env) (*stats.Table, map[string]*serve.Result, error) {
 }
 
 func replay(e Env, clusters map[string]serve.Cluster, tr *workload.Trace) (*stats.Table, map[string]*serve.Result, error) {
+	cells, err := runCells(e, len(Order), func(i, _ int) (*serve.Result, error) {
+		res, err := clusters[Order[i]].Run(tr)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", Order[i], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := stats.NewTable("System", "p50 TTFT ms", "p99 TTFT ms", "p50 TPOT ms", "p99 TPOT ms", "p50 Compl ms", "p99 Compl ms")
 	results := map[string]*serve.Result{}
-	for _, name := range Order {
-		res, err := clusters[name].Run(tr)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", name, err)
-		}
-		results[name] = res
-		tab.AddRow(name,
+	for i, res := range cells {
+		results[Order[i]] = res
+		tab.AddRow(Order[i],
 			res.TTFT.Median(), res.TTFT.P99(),
 			res.TPOT.Median(), res.TPOT.P99(),
 			res.Completion.Median(), res.Completion.P99())

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func okRun(Env, Values) ([]stats.Section, error) { return nil, nil }
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one containing %q)", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not contain %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(Scenario{Name: "test-dup", Summary: "x", Run: okRun})
+	mustPanic(t, "duplicate", func() {
+		Register(Scenario{Name: "test-dup", Summary: "x", Run: okRun})
+	})
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic(t, "invalid name", func() {
+		Register(Scenario{Name: "Bad Name", Summary: "x", Run: okRun})
+	})
+	mustPanic(t, "empty summary", func() {
+		Register(Scenario{Name: "test-no-summary", Run: okRun})
+	})
+	mustPanic(t, "nil Run", func() {
+		Register(Scenario{Name: "test-no-run", Summary: "x"})
+	})
+	mustPanic(t, "duplicate param", func() {
+		Register(Scenario{Name: "test-dup-param", Summary: "x", Run: okRun,
+			Params: []Param{
+				{Name: "p", Kind: Int, Default: 1},
+				{Name: "p", Kind: Int, Default: 2},
+			}})
+	})
+	mustPanic(t, "does not match kind", func() {
+		Register(Scenario{Name: "test-bad-default", Summary: "x", Run: okRun,
+			Params: []Param{{Name: "p", Kind: Int, Default: "nope"}}})
+	})
+	// A failed registration must not leave a partial entry behind.
+	if _, ok := Get("test-bad-default"); ok {
+		t.Fatal("failed registration was stored")
+	}
+}
+
+func TestGetAndListSorted(t *testing.T) {
+	Register(Scenario{Name: "test-list-b", Summary: "x", Run: okRun})
+	Register(Scenario{Name: "test-list-a", Summary: "x", Run: okRun})
+	if _, ok := Get("test-list-a"); !ok {
+		t.Fatal("Get missed a registered scenario")
+	}
+	if _, ok := Get("test-absent"); ok {
+		t.Fatal("Get invented a scenario")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted/unique: %v", names)
+		}
+	}
+}
+
+func TestParseDefaultsAndOverrides(t *testing.T) {
+	s := Scenario{Name: "test-parse", Summary: "x", Run: okRun, Params: []Param{
+		{Name: "model", Kind: String, Default: "Llama-70B"},
+		{Name: "hetero", Kind: Bool, Default: false},
+		{Name: "reps", Kind: Int, Default: 3},
+		{Name: "rate", Kind: Float, Default: 1.5},
+		{Name: "coldstart", Kind: Duration, Default: 15 * time.Second},
+		{Name: "systems", Kind: Strings, Default: nil},
+		{Name: "replicas", Kind: Ints, Default: []int{4, 8}},
+		{Name: "rates", Kind: Floats, Default: nil},
+		{Name: "coldstarts", Kind: Durations, Default: nil},
+	}}
+
+	v, err := s.Parse(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String("model") != "Llama-70B" || v.Bool("hetero") || v.Int("reps") != 3 ||
+		v.Float("rate") != 1.5 || v.Duration("coldstart") != 15*time.Second {
+		t.Fatalf("defaults wrong: %v", v)
+	}
+	if v.StringList("systems") != nil || v.FloatList("rates") != nil || v.DurationList("coldstarts") != nil {
+		t.Fatal("nil list defaults should stay nil")
+	}
+	if got := v.IntList("replicas"); len(got) != 2 || got[0] != 4 {
+		t.Fatalf("replicas default = %v", got)
+	}
+
+	v, err = s.Parse(map[string]string{
+		"model": "Qwen-32B", "hetero": "true", "reps": "5", "rate": "2.25",
+		"coldstart": "1m30s", "systems": "TP, Shift", "replicas": "2,4,8",
+		"rates": "0.5,1", "coldstarts": "0s,15s,60s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String("model") != "Qwen-32B" || !v.Bool("hetero") || v.Int("reps") != 5 ||
+		v.Float("rate") != 2.25 || v.Duration("coldstart") != 90*time.Second {
+		t.Fatalf("scalar overrides wrong: %v", v)
+	}
+	if got := v.StringList("systems"); len(got) != 2 || got[1] != "Shift" {
+		t.Fatalf("systems = %v (whitespace should be trimmed)", got)
+	}
+	if got := v.IntList("replicas"); len(got) != 3 || got[2] != 8 {
+		t.Fatalf("replicas = %v", got)
+	}
+	if got := v.DurationList("coldstarts"); len(got) != 3 || got[1] != 15*time.Second {
+		t.Fatalf("coldstarts = %v", got)
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	s := Scenario{Name: "test-parse-bad", Summary: "x", Run: okRun, Params: []Param{
+		{Name: "reps", Kind: Int, Default: 3},
+		{Name: "coldstarts", Kind: Durations, Default: nil},
+	}}
+	if _, err := s.Parse(map[string]string{"nope": "1"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown param") {
+		t.Fatalf("unknown param not rejected: %v", err)
+	}
+	if _, err := s.Parse(map[string]string{"reps": "many"}); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	if _, err := s.Parse(map[string]string{"coldstarts": "15s,,60s"}); err == nil {
+		t.Fatal("empty list element accepted")
+	}
+	if _, err := s.Parse(map[string]string{"coldstarts": "15s,soon"}); err == nil {
+		t.Fatal("bad duration element accepted")
+	}
+}
+
+func TestValuesPanicOnUndeclared(t *testing.T) {
+	s := Scenario{Name: "test-undeclared", Summary: "x", Run: okRun}
+	v, err := s.Parse(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic reading an undeclared param")
+		}
+	}()
+	v.Int("ghost")
+}

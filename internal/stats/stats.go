@@ -303,17 +303,24 @@ type Section struct {
 }
 
 // WriteJSON writes bench sections to path as indented JSON — the
-// BENCH_<name>.json files the cmd binaries emit under -json, holding the
-// same formatted cells as the printed tables so the perf trajectory can
-// accumulate across runs.
+// BENCH_<name>.json files `simctl run -json` emits, holding the same
+// formatted cells as the printed tables so the perf trajectory can
+// accumulate across runs. Section names must be unique within one file:
+// the trajectory is keyed on (file, section), so a silent
+// last-writer-wins duplicate would corrupt it.
 func WriteJSON(path string, sections []Section) error {
 	if len(sections) == 0 {
 		return fmt.Errorf("stats: no sections to write to %s", path)
 	}
+	seen := make(map[string]bool, len(sections))
 	for _, s := range sections {
 		if s.Name == "" || s.Table == nil {
 			return fmt.Errorf("stats: section %q incomplete", s.Name)
 		}
+		if seen[s.Name] {
+			return fmt.Errorf("stats: duplicate section %q in %s", s.Name, path)
+		}
+		seen[s.Name] = true
 	}
 	data, err := json.MarshalIndent(struct {
 		Sections []Section `json:"sections"`

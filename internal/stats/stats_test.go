@@ -314,3 +314,26 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 		t.Fatal("nil table must error")
 	}
 }
+
+// TestWriteJSONRejectsDuplicateSections pins that one file cannot carry
+// two sections under the same name: the bench trajectory is keyed on
+// (file, section), and a silent last-writer-wins would corrupt it.
+func TestWriteJSONRejectsDuplicateSections(t *testing.T) {
+	tab := NewTable("K", "V")
+	tab.AddRow("a", 1.0)
+	path := t.TempDir() + "/BENCH_dup.json"
+	err := WriteJSON(path, []Section{
+		{Name: "sweep", Table: tab},
+		{Name: "other", Table: tab},
+		{Name: "sweep", Table: tab},
+	})
+	if err == nil {
+		t.Fatal("duplicate section names must error")
+	}
+	if !strings.Contains(err.Error(), "duplicate section") || !strings.Contains(err.Error(), "sweep") {
+		t.Fatalf("error %q should name the duplicate section", err)
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		t.Fatal("a rejected write must not leave a file behind")
+	}
+}

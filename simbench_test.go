@@ -3,7 +3,7 @@
 // measures the simulator itself — engine hot-path time and allocations,
 // and the serial-vs-parallel wall clock of fleet stepping and sweep
 // fan-out. `make perfbench` runs them with -benchmem at a benchstat-
-// friendly count for before/after comparisons; cmd/simbench emits the
+// friendly count for before/after comparisons; the simbench scenario emits the
 // same axis as BENCH_simbench.json.
 package repro_test
 
