@@ -39,7 +39,13 @@ bench:
 # scenarios (burstbench, clusterbench, geobench, simbench) regenerate
 # the accumulating perf-trajectory files under their historical names.
 bench-json:
+	@touch .bench-stamp
 	$(GO) run ./cmd/simctl run -all -quick -json > /dev/null
+	@new="$$(find . -maxdepth 1 -name 'BENCH_*.json' -newer .bench-stamp)"; \
+	rm -f .bench-stamp; \
+	if [ -z "$$new" ]; then \
+		echo "bench-json: simctl run -all wrote no BENCH_*.json files"; exit 1; \
+	fi
 	$(GO) run ./cmd/jsonlint BENCH_*.json
 
 # Simulator-performance benchmarks (engine hot path, fleet stepping,

@@ -1,7 +1,9 @@
 // Command jsonlint validates the BENCH_*.json files `simctl run -json`
 // emits: each must parse and contain at least one named section with a
 // non-empty table. `make bench-json` runs it on every emitted file in
-// one glob invocation so CI fails on malformed perf output.
+// one glob invocation so CI fails on malformed perf output. Every
+// file's problems are reported before the non-zero exit, so one broken
+// suite file does not mask the rest.
 //
 // Usage:
 //
@@ -13,43 +15,76 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	if len(args) == 0 {
 		log.Fatal("usage: jsonlint FILE.json ...")
 	}
-	for _, path := range os.Args[1:] {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var doc struct {
-			Sections []stats.Section `json:"sections"`
-		}
-		if err := json.Unmarshal(data, &doc); err != nil {
-			log.Fatalf("%s: does not parse: %v", path, err)
-		}
-		if len(doc.Sections) == 0 {
-			log.Fatalf("%s: no sections", path)
-		}
-		for _, s := range doc.Sections {
-			if s.Name == "" || s.Table == nil {
-				log.Fatalf("%s: incomplete section %+v", path, s)
-			}
-			if len(s.Table.Header) == 0 || len(s.Table.Rows) == 0 {
-				log.Fatalf("%s: section %s has an empty table", path, s.Name)
-			}
-			for i, row := range s.Table.Rows {
-				if len(row) != len(s.Table.Header) {
-					log.Fatalf("%s: section %s row %d has %d cells for %d columns",
-						path, s.Name, i, len(row), len(s.Table.Header))
-				}
+	// An unexpanded shell glob means the files were never written:
+	// surface the real problem instead of "no such file: BENCH_*.json".
+	for _, path := range args {
+		if strings.ContainsAny(path, "*?[") {
+			if _, err := os.Stat(path); os.IsNotExist(err) {
+				log.Fatalf("no bench files found (got literal pattern %q) — run `make bench-json` first", path)
 			}
 		}
+	}
+	problems := 0
+	for _, path := range args {
+		errs := lint(path)
+		for _, err := range errs {
+			log.Printf("%s: %v", path, err)
+		}
+		if len(errs) > 0 {
+			problems += len(errs)
+			continue
+		}
+	}
+	if problems > 0 {
+		log.Fatalf("%d problem(s) across %d file(s)", problems, len(args))
+	}
+}
+
+// lint validates one file and returns everything wrong with it.
+func lint(path string) []error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []error{err}
+	}
+	var doc struct {
+		Sections []stats.Section `json:"sections"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []error{fmt.Errorf("does not parse: %v", err)}
+	}
+	if len(doc.Sections) == 0 {
+		return []error{fmt.Errorf("no sections")}
+	}
+	var errs []error
+	for _, s := range doc.Sections {
+		if s.Name == "" || s.Table == nil {
+			errs = append(errs, fmt.Errorf("incomplete section %+v", s))
+			continue
+		}
+		if len(s.Table.Header) == 0 || len(s.Table.Rows) == 0 {
+			errs = append(errs, fmt.Errorf("section %s has an empty table", s.Name))
+			continue
+		}
+		for i, row := range s.Table.Rows {
+			if len(row) != len(s.Table.Header) {
+				errs = append(errs, fmt.Errorf("section %s row %d has %d cells for %d columns",
+					s.Name, i, len(row), len(s.Table.Header)))
+			}
+		}
+	}
+	if len(errs) == 0 {
 		fmt.Printf("%s: ok (%d sections)\n", path, len(doc.Sections))
 	}
+	return errs
 }

@@ -307,6 +307,34 @@ func init() {
 		}),
 	})
 	scenario.Register(scenario.Scenario{
+		Name:    "failure-recovery",
+		Summary: "Fault plans x autoscaler policies: attainment through the recovery window",
+		Params: []scenario.Param{
+			{Name: "plans", Kind: scenario.Strings, Default: nil,
+				Help: "fault plans to sweep (subset of none,crash-restart,crash-dead,degraded; default all)"},
+			{Name: "window", Kind: scenario.Duration, Default: 90 * time.Second,
+				Help: "recovery window measured from the crash time"},
+		},
+		Run: one("failure-recovery", func(e Env, v scenario.Values) (*stats.Table, error) {
+			if w := v.Duration("window"); w <= 0 {
+				return nil, fmt.Errorf("recovery window %v must be positive", w)
+			}
+			return FailureRecovery(e, v.StringList("plans"), v.Duration("window"))
+		}),
+	})
+	scenario.Register(scenario.Scenario{
+		Name:    "outage-spillover",
+		Summary: "Geo policies with the home region dark: the remote-salvage break-even",
+		Params: []scenario.Param{{Name: "outage", Kind: scenario.Duration, Default: 60 * time.Second,
+			Help: "outage length; the window opens just before the midpoint burst"}},
+		Run: one("outage-spillover", func(e Env, v scenario.Values) (*stats.Table, error) {
+			if o := v.Duration("outage"); o <= 0 {
+				return nil, fmt.Errorf("outage length %v must be positive", o)
+			}
+			return OutageSpillover(e, v.Duration("outage"))
+		}),
+	})
+	scenario.Register(scenario.Scenario{
 		Name:    "geo-serving",
 		Summary: "Geo routing policies x topologies x cold starts vs a single-region baseline",
 		Params: []scenario.Param{{Name: "coldstarts", Kind: scenario.Durations, Default: nil,

@@ -27,6 +27,7 @@ var goldenScenarios = []string{
 	"engine-hotpath",
 	"eq1",
 	"extension-ep",
+	"failure-recovery",
 	"fig10-mooncake",
 	"fig12",
 	"fig13",
@@ -42,6 +43,7 @@ var goldenScenarios = []string{
 	"geo-serving",
 	"geobench",
 	"hetero-routing",
+	"outage-spillover",
 	"simbench",
 	"simulator-speed",
 	"table1",

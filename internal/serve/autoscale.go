@@ -40,6 +40,13 @@ type FleetView struct {
 	// attainment-driven policies.
 	WindowSLORequests int
 	WindowTTFTMet     int
+	// Down counts replicas that are dark or health-ejected (always zero
+	// without fault injection). They still count in Active/Draining —
+	// they are provisioned and billed — so Down is the extra signal a
+	// failure-aware policy can subtract; the built-in policies instead
+	// recover indirectly, through the queue and attainment pressure the
+	// re-enqueued work creates.
+	Down int
 }
 
 // Provisioned returns the replicas currently paid for: active, warming,
@@ -321,6 +328,25 @@ type replica struct {
 	// Window cursors over the engine's completed/rejected lists.
 	doneSeen int
 	rejSeen  int
+
+	// Health/fault state (all zero without fault injection). down marks
+	// the machine dark: its engine is not stepped and everything routed
+	// to it black-holes until the health tier ejects it. restartAt is
+	// when the machine comes back (0: never). ejected removes it from
+	// the routing set; readmission waits for recovery plus cooldown.
+	down       bool
+	restartAt  time.Duration
+	probeFails int
+	ejected    bool
+	ejectedAt  time.Duration
+	// Live-load counters feeding ReplicaView's Live fields: assigned
+	// work minus completions/rejections (consumed via the cursors
+	// below) and crash losses — actual queue depth, unlike the
+	// cumulative assigned counters above.
+	liveTokens   int
+	liveReqs     int
+	liveDoneSeen int
+	liveRejSeen  int
 }
 
 // remaining counts routed-but-unfinished requests, the drain-victim
@@ -347,6 +373,20 @@ type fleetState struct {
 	// scale-ups are suppressed (a replica spawned now could never receive
 	// work, only bill replica-seconds until the end of the run).
 	draining bool
+
+	// Fault/health machinery (inert unless faultsOn; see health.go).
+	// degrades and outageUntil are consulted at spawn time; pending is
+	// the router-side queue of work with no routable replica to land
+	// on; the counters feed Result's recovery metrics.
+	faultsOn     bool
+	health       HealthConfig
+	degrades     []workload.Degrade
+	outageUntil  time.Duration
+	pending      []workload.Request
+	crashCount   int
+	ejections    int
+	readmissions int
+	workLost     int
 }
 
 func (f *fleetState) spawn(cfg Config, at, cold time.Duration) error {
@@ -368,6 +408,20 @@ func (f *fleetState) spawn(cfg Config, at, cold time.Duration) error {
 	}
 	if cold == 0 {
 		rep.state = replicaActive
+	}
+	if f.faultsOn {
+		// Degrade windows match by spawn-order id (first match wins);
+		// spawns during a region outage start dark and recover with it.
+		for _, d := range f.degrades {
+			if d.Replica == id {
+				e.setDegrade(d.Slowdown, d.Start, d.End)
+				break
+			}
+		}
+		if at < f.outageUntil {
+			rep.down = true
+			rep.restartAt = f.outageUntil
+		}
 	}
 	f.replicas = append(f.replicas, rep)
 	if rep.state == replicaActive {
@@ -421,7 +475,9 @@ func (f *fleetState) promote(now time.Duration) {
 func (f *fleetState) advance(horizon time.Duration, final bool) {
 	conc.For(len(f.replicas), f.workers, func(i int) {
 		rep := f.replicas[i]
-		if rep.state == replicaRetired {
+		if rep.state == replicaRetired || rep.down {
+			// Dark machines do not step; their clock resumes (bumped to
+			// the probe time) when they restart.
 			return
 		}
 		rep.engine.stepUntil(horizon, final || rep.state == replicaDraining)
@@ -451,15 +507,19 @@ func (f *fleetState) route(router Router, r workload.Request, now time.Duration)
 	var views []ReplicaView
 	var targets []*replica
 	for _, rep := range f.replicas {
-		if rep.state != replicaActive {
+		if !rep.routable() {
 			continue
 		}
+		rep.refreshLive()
 		views = append(views, ReplicaView{
 			Index: len(views), Name: rep.engine.cfg.Name,
 			OutstandingTokens:   rep.assignedTokens + rep.tokenHandicap,
 			OutstandingRequests: rep.assignedReqs + rep.reqHandicap,
 			KVCapacityTokens:    rep.kvCapacity,
 			FreeKVTokens:        rep.kvCapacity - rep.assignedTokens - rep.tokenHandicap,
+			Live:                true,
+			LiveRequests:        rep.liveReqs,
+			LiveTokens:          rep.liveTokens,
 		})
 		targets = append(targets, rep)
 	}
@@ -471,6 +531,8 @@ func (f *fleetState) route(router Router, r workload.Request, now time.Duration)
 	rep.engine.arrivals = append(rep.engine.arrivals, r)
 	rep.assignedTokens += r.TotalTokens()
 	rep.assignedReqs++
+	rep.liveTokens += r.TotalTokens()
+	rep.liveReqs++
 	f.arrivedInWin++
 	return nil
 }
@@ -517,6 +579,9 @@ func (f *fleetState) view(now time.Duration) FleetView {
 		case replicaRetired:
 			continue
 		}
+		if rep.down || rep.ejected {
+			v.Down++
+		}
 		v.QueuedRequests += e.waiting.len() + len(e.arrivals) - e.nextIdx
 		v.RunningRequests += len(e.running)
 		for _, s := range e.waiting.seqs() {
@@ -525,6 +590,12 @@ func (f *fleetState) view(now time.Duration) FleetView {
 		for _, r := range e.arrivals[e.nextIdx:] {
 			v.QueuedTokens += r.TotalTokens()
 		}
+	}
+	// Router-side pending work (nowhere routable during an outage) is
+	// backlog the policy should see and scale for.
+	v.QueuedRequests += len(f.pending)
+	for _, r := range f.pending {
+		v.QueuedTokens += r.TotalTokens()
 	}
 	return v
 }
@@ -541,7 +612,10 @@ func (f *fleetState) evaluate(now time.Duration) error {
 		desired = f.ac.Max
 	}
 	cur := v.Active + v.Warming
-	if f.draining && desired > cur {
+	if f.draining && desired > cur && !(f.faultsOn && f.routableCount() == 0) {
+		// Post-trace scale-ups are pointless — except when faults left
+		// zero routable replicas with work still pending: then a spawn is
+		// the only way the backlog ever drains.
 		desired = cur
 	}
 	switch {
@@ -598,7 +672,9 @@ func (f *fleetState) shrink(n int, now time.Duration) {
 		active := 0
 		var victim *replica
 		for _, rep := range f.replicas {
-			if rep.state != replicaActive {
+			if rep.state != replicaActive || rep.down || rep.ejected {
+				// Dark and ejected replicas cannot drain (their engines do
+				// not step); the health tier owns their fate.
 				continue
 			}
 			active++
@@ -669,9 +745,15 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		// Even a one-replica lockstep cluster must error: scaling it up
 		// would silently drop the DP lockstep semantics the caller asked
 		// for (spawned replicas run on independent clocks).
-		return nil, fmt.Errorf("serve: autoscaling requires independent replicas (Lockstep=false)")
+		return nil, fmt.Errorf("serve: autoscaling and fault injection require independent replicas (Lockstep=false)")
 	}
-	ac := c.Autoscale.withDefaults(len(c.Configs))
+	acfg := c.Autoscale
+	if acfg == nil {
+		// Fault injection without autoscaling runs the same controller
+		// under the static policy: a fixed fleet that can crash.
+		acfg = &AutoscaleConfig{}
+	}
+	ac := acfg.withDefaults(len(c.Configs))
 	if err := ac.validate(len(c.Configs)); err != nil {
 		return nil, err
 	}
@@ -690,6 +772,15 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		ac: ac, name: c.Name, recordEvents: c.RecordEvents,
 		workers: conc.Workers(c.Parallelism),
 	}
+	var fc *faultRun
+	if c.Faults != nil || c.Health != nil {
+		// Wire the fault controller before the initial spawns so degrade
+		// windows and outage darkness apply to the starting fleet too.
+		var err error
+		if fc, err = newFaultRun(fleet, router, c.Faults, c.Health); err != nil {
+			return nil, err
+		}
+	}
 	for _, cfg := range c.Configs {
 		// The initial fleet is pre-provisioned: ready at time zero.
 		if err := fleet.spawn(cfg, 0, 0); err != nil {
@@ -697,33 +788,78 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		}
 	}
 
+	// nextEvent merges the eval clock with the fault controller's crash
+	// and probe clocks; at equal times crashes land first, then probes,
+	// then evaluations (failure, detection, reaction).
 	nextEval := ac.Interval
-	for _, r := range t.Requests {
-		for nextEval <= r.Arrival {
-			fleet.advance(nextEval, false)
-			if err := fleet.evaluate(nextEval); err != nil {
-				return nil, err
+	nextEvent := func() (time.Duration, int) {
+		at, kind := nextEval, evEval
+		if fc != nil {
+			if fat, fkind, ok := fc.next(); ok && (fat < at || (fat == at && fkind < kind)) {
+				at, kind = fat, fkind
+			}
+		}
+		return at, kind
+	}
+	handle := func(at time.Duration, kind int) error {
+		if kind == evEval {
+			if err := fleet.evaluate(at); err != nil {
+				return err
 			}
 			nextEval += ac.Interval
+			if fc != nil {
+				fc.reapStranded()
+			}
+		} else if err := fc.fire(at, kind); err != nil {
+			return err
+		}
+		if fc != nil {
+			return fc.flush(at)
+		}
+		return nil
+	}
+
+	for _, r := range t.Requests {
+		for {
+			at, kind := nextEvent()
+			if at > r.Arrival {
+				break
+			}
+			fleet.advance(at, false)
+			if err := handle(at, kind); err != nil {
+				return nil, err
+			}
 		}
 		fleet.advance(r.Arrival, false)
+		if fc != nil {
+			if err := fc.flush(r.Arrival); err != nil {
+				return nil, err
+			}
+			if err := fc.place(r, r.Arrival); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if err := fleet.route(router, r, r.Arrival); err != nil {
 			return nil, err
 		}
 	}
 	// Drain: no further arrivals; keep evaluating so the policy can shed
 	// idle replicas (and their cost) while the backlog empties. Scale-ups
-	// are suppressed in this phase (see fleetState.draining).
+	// are suppressed in this phase (see fleetState.draining) unless a
+	// fault left pending work with zero routable replicas. Probe and
+	// crash events keep firing so down replicas still get ejected and
+	// their black-holed work still reaches a terminal outcome.
 	fleet.draining = true
-	for !fleet.allDone() {
-		fleet.advance(nextEval, true)
-		if fleet.allDone() {
+	for !fleet.allDone() || len(fleet.pending) > 0 {
+		at, kind := nextEvent()
+		fleet.advance(at, true)
+		if fleet.allDone() && len(fleet.pending) == 0 {
 			break
 		}
-		if err := fleet.evaluate(nextEval); err != nil {
+		if err := handle(at, kind); err != nil {
 			return nil, err
 		}
-		nextEval += ac.Interval
 	}
 
 	var metrics []RequestMetrics
@@ -732,7 +868,14 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		metrics = append(metrics, rep.engine.metrics(nil)...)
 		engines = append(engines, rep.engine)
 	}
+	if fc != nil {
+		metrics = append(metrics, fc.dropped...)
+	}
 	res := buildResult(c.Name, metrics, engines)
 	fleet.finish(res)
+	res.ReplicaCrashes = fleet.crashCount
+	res.Ejections = fleet.ejections
+	res.Readmissions = fleet.readmissions
+	res.WorkLostTokens = fleet.workLost
 	return res, nil
 }

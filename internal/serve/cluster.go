@@ -29,6 +29,16 @@ type Cluster struct {
 	// time instead of serving the whole trace on the initial Configs;
 	// see AutoscaleConfig. Requires Lockstep=false.
 	Autoscale *AutoscaleConfig
+	// Faults, when set, injects the plan's replica crashes, outages, and
+	// degrade windows into the run: crashed work re-enqueues at the
+	// router with a retry count, and the health tier (Health, or its
+	// defaults) governs ejection and readmission. Requires
+	// Lockstep=false; runs on the autoscale controller (under the static
+	// policy when Autoscale is nil).
+	Faults *workload.FaultPlan
+	// Health, when set, enables the router's health-check tier even
+	// without a fault plan; see HealthConfig.
+	Health *HealthConfig
 	// Parallelism bounds the worker pool that steps independent
 	// (non-lockstep) replicas concurrently: 0 uses GOMAXPROCS, 1 forces
 	// the serial path. Every setting produces byte-identical Results —
@@ -73,7 +83,7 @@ func SingleEngine(name string, cfg Config) Cluster {
 // runAutoscaled); the static policy reproduces this fixed-fleet path
 // bit-for-bit.
 func (c Cluster) Run(t *workload.Trace) (*Result, error) {
-	if c.Autoscale != nil {
+	if c.Autoscale != nil || c.Faults != nil || c.Health != nil {
 		return c.runAutoscaled(t)
 	}
 	if err := t.Validate(); err != nil {

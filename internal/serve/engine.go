@@ -119,6 +119,10 @@ const (
 	// larger than the engine's entire KV cache (directly, or after
 	// preemption grew its recompute length past it).
 	RejectUnservablePrompt RejectReason = "unservable-prompt"
+	// RejectCrashDropped marks a request lost to replica crashes more
+	// times than the fault plan's retry budget allows — the fault
+	// controller's terminal outcome, never set by an engine itself.
+	RejectCrashDropped RejectReason = "crash-dropped"
 )
 
 // seq is a request in flight.
@@ -227,6 +231,12 @@ type Engine struct {
 	// Priority or an SLO; until then every scheduling decision is
 	// bit-for-bit identical to the FIFO engine.
 	sloAware bool
+
+	// Degrade window (fault injection): iterations priced while now is
+	// inside [slowFrom, slowUntil) cost slowFactor times more — a
+	// sick-but-alive machine only live-state routing can see.
+	slowFactor          float64
+	slowFrom, slowUntil time.Duration
 
 	// Reusable per-iteration buffers: exactly one plan is alive between
 	// schedule and apply, so the backing arrays are recycled instead of
@@ -752,11 +762,51 @@ func (plan batchPlan) shape() perf.Batch {
 }
 
 // price selects the parallelism (Algorithm 2), records it on the plan,
-// and prices the iteration.
+// and prices the iteration, applying any active degrade window.
 func (e *Engine) price(plan *batchPlan) perf.Cost {
 	shape := plan.shape()
 	plan.par = e.parFor(shape)
-	return e.cfg.CM.IterEP(plan.par, e.cfg.EP, shape)
+	cost := e.cfg.CM.IterEP(plan.par, e.cfg.EP, shape)
+	if e.slowFactor > 1 && e.now >= e.slowFrom && e.now < e.slowUntil {
+		f := e.slowFactor
+		cost.GEMM = time.Duration(float64(cost.GEMM) * f)
+		cost.Attn = time.Duration(float64(cost.Attn) * f)
+		cost.AllReduce = time.Duration(float64(cost.AllReduce) * f)
+		cost.AllToAll = time.Duration(float64(cost.AllToAll) * f)
+		cost.Overhead = time.Duration(float64(cost.Overhead) * f)
+	}
+	return cost
+}
+
+// setDegrade arms a degrade window: iterations starting inside
+// [from, until) run factor times slower.
+func (e *Engine) setDegrade(factor float64, from, until time.Duration) {
+	e.slowFactor, e.slowFrom, e.slowUntil = factor, from, until
+}
+
+// crashDrain kills the engine mid-run: every admitted sequence and
+// every routed-but-unarrived request is lost. It returns the lost
+// requests (running first, then waiting, then future arrivals — each
+// group in queue order) plus the computed-and-discarded token count,
+// releases all KV blocks, and leaves the engine drained (finished()
+// holds until new arrivals are routed to it). Also used to flush the
+// black-holed arrivals a down replica accumulated before ejection.
+func (e *Engine) crashDrain() (lost []workload.Request, lostTokens int) {
+	for _, s := range e.running {
+		lostTokens += s.prefilled - s.cached + int(s.decoded)
+		e.alloc.Release(s.req.ID)
+		lost = append(lost, s.req)
+	}
+	e.running = nil
+	for _, s := range e.waiting.seqs() {
+		e.alloc.Release(s.req.ID)
+		lost = append(lost, s.req)
+	}
+	e.waiting.clear()
+	lost = append(lost, e.arrivals[e.nextIdx:]...)
+	e.arrivals = e.arrivals[:0:0]
+	e.nextIdx = 0
+	return lost, lostTokens
 }
 
 // apply executes one priced iteration ending at end: advances the clock,

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/conc"
@@ -148,6 +149,10 @@ type RegionView struct {
 	// per second per active replica, measured over the run so far (zero
 	// until the first completions land).
 	MeasuredRate float64
+	// Down marks a region with zero routable replicas (an outage the
+	// health tier has fully ejected, before any recovery): geo routers
+	// must not place work on it. Always false without fault injection.
+	Down bool
 }
 
 // GeoRouter places each arriving request on a region. Route is called in
@@ -175,11 +180,20 @@ func NewNearestRegionRouter() GeoRouter { return nearestRegion{} }
 func (nearestRegion) Name() string { return "nearest" }
 
 func (nearestRegion) Route(_ workload.Request, origin int, regions []RegionView) int {
-	best := origin
+	best := -1
+	if !regions[origin].Down {
+		best = origin
+	}
 	for i := range regions {
-		if regions[i].RTT < regions[best].RTT {
+		if regions[i].Down || i == best {
+			continue
+		}
+		if best < 0 || regions[i].RTT < regions[best].RTT {
 			best = i
 		}
+	}
+	if best < 0 {
+		return origin // everything dark: the caller parks the request
 	}
 	return best
 }
@@ -206,12 +220,22 @@ func (leastLoadedGlobal) Route(_ workload.Request, origin int, regions []RegionV
 		return float64(v.QueuedTokens+v.RunningTokens) / float64(active)
 	}
 	// Ascending scan with a strict improvement test: ties stay with the
-	// origin, then with the lowest already-chosen index.
-	best := origin
+	// origin, then with the lowest already-chosen index. Dark regions
+	// never win.
+	best := -1
+	if !regions[origin].Down {
+		best = origin
+	}
 	for i := range regions {
-		if i != origin && score(regions[i]) < score(regions[best]) {
+		if regions[i].Down || i == origin {
+			continue
+		}
+		if best < 0 || score(regions[i]) < score(regions[best]) {
 			best = i
 		}
+	}
+	if best < 0 {
+		return origin
 	}
 	return best
 }
@@ -283,14 +307,20 @@ func (s *SpillOverRouter) Route(_ workload.Request, origin int, regions []Region
 		}
 		localCost += pen.Seconds()
 	}
-	best, bestCost := origin, localCost
+	best, bestCost := -1, 0.0
+	if !local.Down {
+		best, bestCost = origin, localCost
+	}
 	for i := range regions {
-		if i == origin {
+		if i == origin || regions[i].Down {
 			continue
 		}
-		if c := regions[i].RTT.Seconds() + s.wait(regions[i]); c < bestCost {
+		if c := regions[i].RTT.Seconds() + s.wait(regions[i]); best < 0 || c < bestCost {
 			best, bestCost = i, c
 		}
+	}
+	if best < 0 {
+		return origin
 	}
 	return best
 }
@@ -335,6 +365,18 @@ type Geo struct {
 	Regions []Region
 	// Router picks the serving region per request; nil uses nearest.
 	Router GeoRouter
+	// Faults, when set, injects the plan's crashes, outages, and degrade
+	// windows into the run. Plan entries name their target region; an
+	// empty region scopes to the first (home) region of the topology.
+	// Crash-lost work re-enqueues at the geo router with a retry count
+	// and may land in another region (paying that RTT); during a full
+	// multi-region outage requests park at the geo balancer until any
+	// region recovers.
+	Faults *workload.FaultPlan
+	// Health, when set, overrides the per-region health-check tier
+	// defaults; see HealthConfig. Setting it without Faults enables the
+	// tier (probes simply never fail).
+	Health *HealthConfig
 	// RecordEvents enables per-iteration event capture on every engine.
 	RecordEvents bool
 	// Parallelism bounds the worker pools that advance regions (and,
@@ -406,6 +448,13 @@ func (rr *regionRun) view(now time.Duration) RegionView {
 	for _, rep := range rr.fleet.replicas {
 		switch rep.state {
 		case replicaActive:
+			if rep.ejected {
+				// Health-ejected: out of the routing set and already
+				// drained — the geo balancer knows, so it is not capacity.
+				// (A down-but-not-ejected replica still counts: the
+				// detection delay means the balancer can't tell yet.)
+				continue
+			}
 			v.Active++
 		case replicaWarming:
 			v.Warming++
@@ -432,7 +481,62 @@ func (rr *regionRun) view(now time.Duration) RegionView {
 	if rr.activeSeconds > 0 {
 		v.MeasuredRate = float64(rr.servedTokens) / rr.activeSeconds
 	}
+	if rr.fleet.faultsOn {
+		v.Down = rr.fleet.routableCount() == 0
+	}
 	return v
+}
+
+// geoCrashEvent is one scheduled fault bound to its target region.
+type geoCrashEvent struct {
+	ev     crashEvent
+	region int
+}
+
+// geoFaults is the geo-path fault controller: the cross-region crash
+// schedule, the shared probe clock, the retry budget, the geo-balancer
+// pending queue (work arriving while every region is dark), and the
+// drop records.
+type geoFaults struct {
+	maxRetries int
+	crashes    []geoCrashEvent
+	nextCrash  int
+	probeEvery time.Duration
+	nextProbe  time.Duration
+	pending    []workload.Request
+	dropped    []RequestMetrics
+}
+
+// next returns the controller's earliest upcoming fault event; crashes
+// outrank probes at equal times.
+func (gf *geoFaults) next() (time.Duration, int, bool) {
+	at, kind, ok := time.Duration(0), 0, false
+	if gf.nextCrash < len(gf.crashes) {
+		at, kind, ok = gf.crashes[gf.nextCrash].ev.at, evCrash, true
+	}
+	if p := gf.nextProbe; !ok || p < at {
+		at, kind, ok = p, evProbe, true
+	}
+	return at, kind, ok
+}
+
+// reap drops the geo pending queue when no region can ever serve it:
+// zero routable replicas everywhere and no recovery in sight. Runs in
+// the drain loop, where an undroppable queue would otherwise spin the
+// probe clock forever.
+func (gf *geoFaults) reap(runs []*regionRun) {
+	if len(gf.pending) == 0 {
+		return
+	}
+	for _, rr := range runs {
+		if rr.fleet.routableCount() > 0 || rr.fleet.canRecover() {
+			return
+		}
+	}
+	for _, r := range gf.pending {
+		gf.dropped = append(gf.dropped, crashDroppedMetrics(r, ""))
+	}
+	gf.pending = nil
 }
 
 // Run replays the trace through the geo tier. Each request is placed on
@@ -462,6 +566,66 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 	}
 	if r, ok := router.(resettable); ok {
 		r.reset()
+	}
+
+	// Fault wiring: resolve the plan's region scopes (empty names the
+	// home region, topology index 0) and build the cross-region crash
+	// schedule and shared probe clock before any fleet spawns, so
+	// degrade windows and outage darkness apply to the initial fleets.
+	faultsOn := g.Faults != nil || g.Health != nil
+	var gf *geoFaults
+	var hc HealthConfig
+	resolve := func(region string) (int, error) {
+		if region == "" {
+			return 0, nil
+		}
+		if i := g.Topology.Index(region); i >= 0 {
+			return i, nil
+		}
+		return 0, fmt.Errorf("serve: fault plan names region %q not in topology %v", region, g.Topology.Regions)
+	}
+	if faultsOn {
+		if err := g.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		if g.Health != nil {
+			hc = *g.Health
+		}
+		if err := hc.validate(); err != nil {
+			return nil, err
+		}
+		hc = hc.withDefaults()
+		gf = &geoFaults{
+			maxRetries: g.Faults.Retries(),
+			probeEvery: hc.ProbeInterval,
+			nextProbe:  hc.ProbeInterval,
+		}
+		if g.Faults != nil {
+			for _, c := range g.Faults.Crashes {
+				ri, err := resolve(c.Region)
+				if err != nil {
+					return nil, err
+				}
+				gf.crashes = append(gf.crashes, geoCrashEvent{
+					ev: crashEvent{at: c.At, restart: c.Restart, replica: c.Replica}, region: ri,
+				})
+			}
+			for _, o := range g.Faults.Outages {
+				ri, err := resolve(o.Region)
+				if err != nil {
+					return nil, err
+				}
+				gf.crashes = append(gf.crashes, geoCrashEvent{
+					ev: crashEvent{at: o.Start, restart: o.End, outage: true}, region: ri,
+				})
+			}
+			sort.SliceStable(gf.crashes, func(i, j int) bool {
+				if gf.crashes[i].ev.at != gf.crashes[j].ev.at {
+					return gf.crashes[i].ev.at < gf.crashes[j].ev.at
+				}
+				return gf.crashes[i].region < gf.crashes[j].region
+			})
+		}
 	}
 
 	runs := make([]*regionRun, len(g.Regions))
@@ -495,6 +659,21 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			ac: ac, name: name, recordEvents: g.RecordEvents,
 			workers: conc.Workers(g.Parallelism),
 		}
+		if faultsOn {
+			fleet.faultsOn = true
+			fleet.health = hc
+			if g.Faults != nil {
+				for _, d := range g.Faults.Degrades {
+					ri, err := resolve(d.Region)
+					if err != nil {
+						return nil, err
+					}
+					if ri == i {
+						fleet.degrades = append(fleet.degrades, d)
+					}
+				}
+			}
+		}
 		for _, cfg := range reg.Configs {
 			// Initial fleets are pre-provisioned: ready at time zero.
 			if err := fleet.spawn(cfg, 0, 0); err != nil {
@@ -504,8 +683,111 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		runs[i] = &regionRun{name: name, fleet: fleet, router: local, ac: ac, nextEval: ac.Interval}
 	}
 
-	// tick runs the earliest pending per-region evaluation at or before
-	// the horizon; region index breaks ties so runs are reproducible.
+	workers := conc.Workers(g.Parallelism)
+
+	// place routes one request through the geo tier at now: regional
+	// views (with the origin's RTT row), the geo router, then the chosen
+	// region's local router. During a full multi-region outage the
+	// request parks at the geo balancer instead.
+	place := func(r workload.Request, now time.Duration) error {
+		origin, err := originOfName(g.Topology, r.Origin)
+		if err != nil {
+			return err
+		}
+		views := make([]RegionView, len(runs))
+		anyUp := false
+		for i, rr := range runs {
+			views[i] = rr.view(now)
+			views[i].Index = i
+			views[i].RTT = g.Topology.RTT[origin][i]
+			if !views[i].Down {
+				anyUp = true
+			}
+		}
+		if gf != nil && !anyUp {
+			gf.pending = append(gf.pending, r)
+			return nil
+		}
+		gi := router.Route(r, origin, views)
+		if gi < 0 || gi >= len(runs) {
+			return fmt.Errorf("serve: geo router %s returned region %d of %d", router.Name(), gi, len(runs))
+		}
+		if gf != nil && runs[gi].fleet.routableCount() == 0 {
+			return fmt.Errorf("serve: geo router %s placed a request on dark region %s", router.Name(), runs[gi].name)
+		}
+		return runs[gi].fleet.route(runs[gi].router, r, now)
+	}
+
+	// flush re-routes the geo pending queue in arrival order once any
+	// region is routable again.
+	flush := func(now time.Duration) error {
+		if gf == nil || len(gf.pending) == 0 {
+			return nil
+		}
+		any := false
+		for _, rr := range runs {
+			rr.fleet.promote(now)
+			if rr.fleet.routableCount() > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return nil
+		}
+		pend := gf.pending
+		gf.pending = nil
+		for _, r := range pend {
+			if err := place(r, now); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// fireFault applies the next crash or one probe sweep at now: every
+	// region first advances to the event time (crash semantics act on
+	// current state, and dislodged work may re-route anywhere), then the
+	// lost work re-submits through the geo router within its retry
+	// budget.
+	fireFault := func(now time.Duration, kind int, final bool) error {
+		conc.For(len(runs), workers, func(i int) {
+			runs[i].accrue(now)
+			runs[i].fleet.advance(now, final)
+		})
+		var lost []workload.Request
+		switch kind {
+		case evCrash:
+			gce := gf.crashes[gf.nextCrash]
+			gf.nextCrash++
+			lost = runs[gce.region].fleet.applyCrashEvent(gce.ev, now)
+		case evProbe:
+			gf.nextProbe += gf.probeEvery
+			for _, rr := range runs {
+				lost = append(lost, rr.fleet.probeAll(now)...)
+			}
+		}
+		for _, r := range lost {
+			sub := r.SubmittedAt()
+			if r.Retries >= gf.maxRetries {
+				gf.dropped = append(gf.dropped, crashDroppedMetrics(r, ""))
+				continue
+			}
+			r.Retries++
+			r.Submitted = sub
+			r.Arrival = now
+			if err := place(r, now); err != nil {
+				return err
+			}
+		}
+		return flush(now)
+	}
+
+	// tick runs the earliest pending controller event at or before the
+	// horizon. Per-region evaluations break time ties by region index;
+	// fault events (crash, then probe) outrank evaluations at equal
+	// times — failure, then detection, then reaction — so runs are
+	// reproducible.
 	tick := func(horizon time.Duration, final bool) (bool, error) {
 		ri := -1
 		for i, rr := range runs {
@@ -516,22 +798,32 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 				ri = i
 			}
 		}
+		if gf != nil {
+			if fat, fkind, ok := gf.next(); ok && fat <= horizon && (ri < 0 || fat <= runs[ri].nextEval) {
+				if err := fireFault(fat, fkind, final); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+		}
 		if ri < 0 {
 			return false, nil
 		}
 		rr := runs[ri]
-		rr.accrue(rr.nextEval)
-		rr.fleet.advance(rr.nextEval, final)
+		at := rr.nextEval
+		rr.accrue(at)
+		rr.fleet.advance(at, final)
 		if !final || !rr.fleet.allDone() {
-			if err := rr.fleet.evaluate(rr.nextEval); err != nil {
+			if err := rr.fleet.evaluate(at); err != nil {
 				return false, err
 			}
 		}
 		rr.nextEval += rr.ac.Interval
+		if err := flush(at); err != nil {
+			return false, err
+		}
 		return true, nil
 	}
-
-	workers := conc.Workers(g.Parallelism)
 	for _, r := range t.Requests {
 		for {
 			more, err := tick(r.Arrival, false)
@@ -549,21 +841,10 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			runs[i].accrue(r.Arrival)
 			runs[i].fleet.advance(r.Arrival, false)
 		})
-		origin, err := originOfName(g.Topology, r.Origin)
-		if err != nil {
+		if err := flush(r.Arrival); err != nil {
 			return nil, err
 		}
-		views := make([]RegionView, len(runs))
-		for i, rr := range runs {
-			views[i] = rr.view(r.Arrival)
-			views[i].Index = i
-			views[i].RTT = g.Topology.RTT[origin][i]
-		}
-		gi := router.Route(r, origin, views)
-		if gi < 0 || gi >= len(runs) {
-			return nil, fmt.Errorf("serve: geo router %s returned region %d of %d", router.Name(), gi, len(runs))
-		}
-		if err := runs[gi].fleet.route(runs[gi].router, r, r.Arrival); err != nil {
+		if err := place(r, r.Arrival); err != nil {
 			return nil, err
 		}
 	}
@@ -574,11 +855,16 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		rr.fleet.draining = true
 	}
 	for {
-		done := true
-		for _, rr := range runs {
-			if !rr.fleet.allDone() {
-				done = false
-				break
+		if gf != nil {
+			gf.reap(runs)
+		}
+		done := gf == nil || len(gf.pending) == 0
+		if done {
+			for _, rr := range runs {
+				if !rr.fleet.allDone() {
+					done = false
+					break
+				}
 			}
 		}
 		if done {
@@ -589,7 +875,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		}
 	}
 
-	return g.buildGeoResult(runs)
+	return g.buildGeoResult(runs, gf)
 }
 
 // noHorizon is an unreachable event horizon: drain-phase ticks always
@@ -598,8 +884,9 @@ const noHorizon = time.Duration(1<<63 - 1)
 
 // buildGeoResult collects per-engine metrics region by region, charges
 // the inter-region RTT to remotely served requests, and assembles the
-// global plus per-region accounting.
-func (g Geo) buildGeoResult(runs []*regionRun) (*Result, error) {
+// global plus per-region accounting — including, under fault
+// injection, the crash-dropped records and recovery counters.
+func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults) (*Result, error) {
 	var metrics []RequestMetrics
 	var engines []*Engine
 	for gi, rr := range runs {
@@ -623,7 +910,27 @@ func (g Geo) buildGeoResult(runs []*regionRun) (*Result, error) {
 			engines = append(engines, rep.engine)
 		}
 	}
+	if gf != nil {
+		// Crash-dropped requests never landed anywhere: bill them to
+		// their origin region (no RTT, they were rejected at the
+		// balancer).
+		for _, m := range gf.dropped {
+			origin, err := originOfName(g.Topology, m.Origin)
+			if err != nil {
+				return nil, err
+			}
+			m.Origin = g.Topology.Regions[origin]
+			m.Region = m.Origin
+			metrics = append(metrics, m)
+		}
+	}
 	res := buildResult(g.Name, metrics, engines)
+	for _, rr := range runs {
+		res.ReplicaCrashes += rr.fleet.crashCount
+		res.Ejections += rr.fleet.ejections
+		res.Readmissions += rr.fleet.readmissions
+		res.WorkLostTokens += rr.fleet.workLost
+	}
 
 	// Replace the fixed-fleet accounting with per-region lifetimes, all
 	// billed against the shared global makespan.

@@ -1,0 +1,446 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Health-tier defaults: probe every second, eject after three
+// consecutive failed probes, readmit ten seconds after the machine is
+// back — the rigrun-style ejection/readmission loop.
+const (
+	DefaultProbeInterval  = time.Second
+	DefaultFailThreshold  = 3
+	DefaultHealthCooldown = 10 * time.Second
+)
+
+// HealthConfig is the router-side health-check tier. The router keeps
+// sending traffic to a crashed replica (a black hole) until
+// FailThreshold consecutive probes — one sweep every ProbeInterval —
+// have failed; ejection then drains the black-holed requests back to
+// the router for retry. A recovered replica is readmitted to the
+// routing set Cooldown after its ejection ends (the machine must be
+// back up and the cooldown elapsed). The tier is forced on, with
+// these defaults, whenever a FaultPlan is present.
+type HealthConfig struct {
+	// ProbeInterval is the health-sweep period; 0 means
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// FailThreshold is the consecutive failed probes before ejection;
+	// 0 means DefaultFailThreshold.
+	FailThreshold int
+	// Cooldown is the recovered-to-readmitted delay; 0 means
+	// DefaultHealthCooldown.
+	Cooldown time.Duration
+}
+
+func (h HealthConfig) withDefaults() HealthConfig {
+	if h.ProbeInterval <= 0 {
+		h.ProbeInterval = DefaultProbeInterval
+	}
+	if h.FailThreshold <= 0 {
+		h.FailThreshold = DefaultFailThreshold
+	}
+	if h.Cooldown <= 0 {
+		h.Cooldown = DefaultHealthCooldown
+	}
+	return h
+}
+
+func (h HealthConfig) validate() error {
+	if h.ProbeInterval < 0 || h.Cooldown < 0 {
+		return fmt.Errorf("serve: negative health-tier durations (probe %v, cooldown %v)", h.ProbeInterval, h.Cooldown)
+	}
+	if h.FailThreshold < 0 {
+		return fmt.Errorf("serve: negative health fail threshold %d", h.FailThreshold)
+	}
+	return nil
+}
+
+// refreshLive consumes the live-load cursors: completions and
+// rejections since the last refresh come off the replica's live
+// counters, so ReplicaView.LiveTokens tracks work actually still on
+// the replica in O(completions) amortized.
+func (rep *replica) refreshLive() {
+	e := rep.engine
+	for _, s := range e.completed[rep.liveDoneSeen:] {
+		rep.liveTokens -= s.req.TotalTokens()
+		rep.liveReqs--
+	}
+	rep.liveDoneSeen = len(e.completed)
+	for _, s := range e.rejected[rep.liveRejSeen:] {
+		rep.liveTokens -= s.req.TotalTokens()
+		rep.liveReqs--
+	}
+	rep.liveRejSeen = len(e.rejected)
+}
+
+// clearLive zeroes the live counters after a crash or ejection drain
+// (everything on the replica is gone) and syncs the cursors so the
+// drained work is not double-subtracted later.
+func (rep *replica) clearLive() {
+	rep.liveTokens, rep.liveReqs = 0, 0
+	rep.liveDoneSeen = len(rep.engine.completed)
+	rep.liveRejSeen = len(rep.engine.rejected)
+}
+
+// routable reports whether the router may place new work on the
+// replica. A down-but-not-yet-ejected replica IS routable — the
+// detection delay before the health tier ejects it is exactly the
+// black-hole window real fleets suffer.
+func (rep *replica) routable() bool {
+	return rep.state == replicaActive && !rep.ejected
+}
+
+func (f *fleetState) routableCount() int {
+	n := 0
+	for _, rep := range f.replicas {
+		if rep.routable() {
+			n++
+		}
+	}
+	return n
+}
+
+// canRecover reports whether any replica could rejoin the routing set
+// without a new scale-up: a warming spawn, a machine with a scheduled
+// restart, or an ejected-but-recovered replica waiting out its
+// cooldown. When false with zero routable replicas, pending work can
+// only be saved by the autoscaler spawning capacity.
+func (f *fleetState) canRecover() bool {
+	for _, rep := range f.replicas {
+		switch rep.state {
+		case replicaWarming:
+			return true
+		case replicaActive:
+			if rep.down && rep.restartAt > 0 {
+				return true
+			}
+			if rep.ejected && !rep.down {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// crashReplica takes one replica down at now: all in-flight and
+// routed work is lost and returned for re-submission, the machine
+// stays dark until restartAt (0: forever), and the replica remains in
+// the routing set — black-holing new arrivals — until the health tier
+// ejects it. Crashing a draining replica retires it on the spot (its
+// backlog is re-enqueued; there is nothing left to drain). No-op on
+// an already-down or retired replica.
+func (f *fleetState) crashReplica(rep *replica, now, restartAt time.Duration) []workload.Request {
+	if rep == nil || rep.down || rep.state == replicaRetired {
+		return nil
+	}
+	rep.refreshLive()
+	lost, lostTok := rep.engine.crashDrain()
+	f.workLost += lostTok
+	f.crashCount++
+	rep.down = true
+	rep.restartAt = restartAt
+	rep.probeFails = 0
+	rep.clearLive()
+	if rep.state == replicaDraining {
+		rep.state = replicaRetired
+		rep.retireAt = now
+	}
+	return lost
+}
+
+// probeAll runs one health sweep over the fleet in replica-index
+// order: restarts machines whose downtime elapsed, counts failed
+// probes on dark ones (ejecting at the threshold and draining their
+// black-holed arrivals, which are returned for re-submission), and
+// readmits recovered replicas whose cooldown expired.
+func (f *fleetState) probeAll(now time.Duration) []workload.Request {
+	var lost []workload.Request
+	for _, rep := range f.replicas {
+		if rep.state != replicaActive {
+			continue
+		}
+		if rep.down && rep.restartAt > 0 && rep.restartAt <= now {
+			rep.down = false
+			rep.probeFails = 0
+			if rep.engine.now < now {
+				rep.engine.now = now
+			}
+		}
+		if rep.down {
+			rep.probeFails++
+			if !rep.ejected && rep.probeFails >= f.health.FailThreshold {
+				rep.ejected = true
+				rep.ejectedAt = now
+				f.ejections++
+				rep.refreshLive()
+				drained, _ := rep.engine.crashDrain()
+				lost = append(lost, drained...)
+				rep.clearLive()
+			}
+			continue
+		}
+		rep.probeFails = 0
+		if rep.ejected && now-rep.ejectedAt >= f.health.Cooldown {
+			rep.ejected = false
+			f.readmissions++
+			f.relevel(rep)
+		}
+	}
+	return lost
+}
+
+// relevel re-levels a readmitted replica's cumulative router view with
+// the least-loaded routable incumbent, like level does for a fresh
+// spawn — but accounting for the lifetime work the replica already
+// carries, so least-outstanding routing neither funnels everything at
+// it nor shuns it forever.
+func (f *fleetState) relevel(rep *replica) {
+	first := true
+	minTok, minReq := 0, 0
+	for _, other := range f.replicas {
+		if other == rep || !other.routable() {
+			continue
+		}
+		lt := other.assignedTokens + other.tokenHandicap
+		lr := other.assignedReqs + other.reqHandicap
+		if first || lt < minTok {
+			minTok, minReq = lt, lr
+		}
+		first = false
+	}
+	if !first {
+		rep.tokenHandicap = minTok - rep.assignedTokens
+		rep.reqHandicap = minReq - rep.assignedReqs
+	}
+}
+
+// crashEvent is one scheduled fleet fault: a single-replica crash, or
+// (outage=true) the whole fleet going dark until restart.
+type crashEvent struct {
+	at      time.Duration
+	restart time.Duration
+	replica int
+	outage  bool
+}
+
+// fleetCrashEvents expands the plan's crashes and outages scoped to
+// region (empty matches the cluster tier / home region) into a
+// time-ordered event list.
+func fleetCrashEvents(plan *workload.FaultPlan, region string) []crashEvent {
+	if plan == nil {
+		return nil
+	}
+	var evs []crashEvent
+	for _, c := range plan.Crashes {
+		if c.Region != region {
+			continue
+		}
+		evs = append(evs, crashEvent{at: c.At, restart: c.Restart, replica: c.Replica})
+	}
+	for _, o := range plan.Outages {
+		if o.Region != region {
+			continue
+		}
+		evs = append(evs, crashEvent{at: o.Start, restart: o.End, outage: true})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	return evs
+}
+
+// applyCrashEvent fires one crash event against the fleet, returning
+// the lost work. Outages crash every live replica (index order) with
+// restartAt at the outage end and darken subsequent spawns until then.
+func (f *fleetState) applyCrashEvent(ev crashEvent, now time.Duration) []workload.Request {
+	if !ev.outage {
+		if ev.replica < 0 || ev.replica >= len(f.replicas) {
+			return nil
+		}
+		return f.crashReplica(f.replicas[ev.replica], now, ev.restart)
+	}
+	if ev.restart > f.outageUntil {
+		f.outageUntil = ev.restart
+	}
+	var lost []workload.Request
+	for _, rep := range f.replicas {
+		lost = append(lost, f.crashReplica(rep, now, ev.restart)...)
+	}
+	return lost
+}
+
+// crashDroppedMetrics synthesizes the terminal record for a request
+// dropped after exhausting its crash-retry budget (or stranded with no
+// recoverable fleet to land on).
+func crashDroppedMetrics(r workload.Request, replica string) RequestMetrics {
+	return RequestMetrics{
+		ID: r.ID, Class: r.Class, Arrival: r.SubmittedAt(),
+		InputTokens: r.InputTokens, OutputTokens: r.OutputTokens,
+		Rejected: true, RejectReason: RejectCrashDropped, Retries: r.Retries,
+		Priority: r.Priority, SLO: r.SLO, Replica: replica, Origin: r.Origin,
+	}
+}
+
+// Controller event kinds, in tie-break order at equal times: crashes
+// land first (the failure happens), then probes (detection), then
+// autoscaler evaluations (reaction).
+const (
+	evCrash = iota
+	evProbe
+	evEval
+)
+
+// faultRun is the cluster-path fault controller: it owns the crash
+// schedule, the probe clock, the retry budget, the router-side pending
+// queue (work with nowhere routable to go), and the drop records.
+type faultRun struct {
+	fleet      *fleetState
+	router     Router
+	maxRetries int
+	crashes    []crashEvent
+	nextCrash  int
+	nextProbe  time.Duration
+	dropped    []RequestMetrics
+}
+
+// newFaultRun wires the fault/health machinery onto a fleet. Either
+// argument may be nil: a health tier alone just probes (nothing ever
+// fails); a plan alone gets the default health tier.
+func newFaultRun(fleet *fleetState, router Router, plan *workload.FaultPlan, health *HealthConfig) (*faultRun, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	hc := HealthConfig{}
+	if health != nil {
+		hc = *health
+	}
+	if err := hc.validate(); err != nil {
+		return nil, err
+	}
+	fleet.health = hc.withDefaults()
+	fleet.faultsOn = true
+	fleet.degrades = fleetDegrades(plan, "")
+	fc := &faultRun{
+		fleet: fleet, router: router,
+		maxRetries: plan.Retries(),
+		crashes:    fleetCrashEvents(plan, ""),
+		nextProbe:  fleet.health.ProbeInterval,
+	}
+	return fc, nil
+}
+
+// fleetDegrades filters the plan's degrade windows scoped to region.
+func fleetDegrades(plan *workload.FaultPlan, region string) []workload.Degrade {
+	if plan == nil {
+		return nil
+	}
+	var out []workload.Degrade
+	for _, d := range plan.Degrades {
+		if d.Region == region {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// next returns the controller's earliest upcoming fault event.
+func (fc *faultRun) next() (time.Duration, int, bool) {
+	at, kind, ok := time.Duration(0), 0, false
+	if fc.nextCrash < len(fc.crashes) {
+		at, kind, ok = fc.crashes[fc.nextCrash].at, evCrash, true
+	}
+	if p := fc.nextProbe; !ok || p < at {
+		at, kind, ok = p, evProbe, true
+	}
+	return at, kind, ok
+}
+
+// fire applies the fault event of the given kind at now and
+// re-submits whatever work it dislodged.
+func (fc *faultRun) fire(now time.Duration, kind int) error {
+	var lost []workload.Request
+	switch kind {
+	case evCrash:
+		lost = fc.fleet.applyCrashEvent(fc.crashes[fc.nextCrash], now)
+		fc.nextCrash++
+	case evProbe:
+		lost = fc.fleet.probeAll(now)
+		fc.nextProbe += fc.fleet.health.ProbeInterval
+	}
+	return fc.resubmit(lost, now)
+}
+
+// resubmit returns crash-lost work to the router: within the retry
+// budget it re-enqueues at now with an incremented retry count
+// (original submission time preserved for metrics); beyond it the
+// request is dropped with the crash-dropped rejection.
+func (fc *faultRun) resubmit(lost []workload.Request, now time.Duration) error {
+	for _, r := range lost {
+		sub := r.SubmittedAt()
+		if r.Retries >= fc.maxRetries {
+			fc.dropped = append(fc.dropped, crashDroppedMetrics(r, ""))
+			continue
+		}
+		r.Retries++
+		r.Submitted = sub
+		r.Arrival = now
+		if err := fc.place(r, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// place routes one request, parking it on the pending queue when
+// nothing is routable (full outage); flush drains the queue once
+// capacity returns.
+func (fc *faultRun) place(r workload.Request, now time.Duration) error {
+	f := fc.fleet
+	f.promote(now)
+	if f.routableCount() == 0 {
+		f.pending = append(f.pending, r)
+		return nil
+	}
+	return f.route(fc.router, r, now)
+}
+
+// flush drains the pending queue in arrival order once at least one
+// replica is routable again.
+func (fc *faultRun) flush(now time.Duration) error {
+	f := fc.fleet
+	if len(f.pending) == 0 {
+		return nil
+	}
+	f.promote(now)
+	if f.routableCount() == 0 {
+		return nil
+	}
+	pend := f.pending
+	f.pending = nil
+	for _, r := range pend {
+		if err := f.route(fc.router, r, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reapStranded drops the whole pending queue when nothing can ever
+// serve it: zero routable replicas, no recovery in sight, and — since
+// this runs right after an autoscaler evaluation — the policy just
+// declined to spawn. Without it a dead fleet would spin the drain
+// loop forever; with it every request still reaches a terminal,
+// conservation-checked outcome.
+func (fc *faultRun) reapStranded() {
+	f := fc.fleet
+	if len(f.pending) == 0 || f.routableCount() > 0 || f.canRecover() {
+		return
+	}
+	for _, r := range f.pending {
+		fc.dropped = append(fc.dropped, crashDroppedMetrics(r, ""))
+	}
+	f.pending = nil
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/perf"
@@ -25,6 +26,10 @@ type RequestMetrics struct {
 	Completion time.Duration
 	// Preemptions counts recompute evictions suffered.
 	Preemptions int
+	// Retries counts crash re-submissions this request went through
+	// before reaching its final outcome; Arrival/TTFT/Completion measure
+	// from the original submission, so retries pay for the lost time.
+	Retries int
 	// Rejected marks requests the engine could never serve; RejectReason
 	// names why (empty for served requests).
 	Rejected     bool
@@ -84,12 +89,12 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 	out := make([]RequestMetrics, 0, len(reqs))
 	for _, s := range e.completed {
 		m := RequestMetrics{
-			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.Arrival,
+			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.SubmittedAt(),
 			InputTokens: s.req.InputTokens, OutputTokens: s.req.OutputTokens,
-			TTFT:        s.firstTok - s.req.Arrival,
-			Completion:  s.finished - s.req.Arrival,
-			Preemptions: s.preempted,
-			Priority:    s.req.Priority, SLO: s.req.SLO,
+			TTFT:        s.firstTok - s.req.SubmittedAt(),
+			Completion:  s.finished - s.req.SubmittedAt(),
+			Preemptions: s.preempted, Retries: s.req.Retries,
+			Priority: s.req.Priority, SLO: s.req.SLO,
 			Replica: e.cfg.Name, Origin: s.req.Origin,
 		}
 		if s.req.OutputTokens > 1 {
@@ -99,9 +104,9 @@ func (e *Engine) metrics(reqs []workload.Request) []RequestMetrics {
 	}
 	for _, s := range e.rejected {
 		out = append(out, RequestMetrics{
-			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.Arrival,
+			ID: s.req.ID, Class: s.req.Class, Arrival: s.req.SubmittedAt(),
 			InputTokens: s.req.InputTokens, OutputTokens: s.req.OutputTokens,
-			Rejected: true, RejectReason: s.rejectReason,
+			Rejected: true, RejectReason: s.rejectReason, Retries: s.req.Retries,
 			Priority: s.req.Priority, SLO: s.req.SLO,
 			Replica: e.cfg.Name, Origin: s.req.Origin,
 		})
@@ -127,10 +132,25 @@ type Result struct {
 	// admission-control regression that the bare count would hide.
 	RejectedKVExhausted int
 	RejectedUnservable  int
-	Preemptions         int
+	// RejectedCrashDropped counts requests the fault controller dropped
+	// after losing them to crashes more than MaxRetries times.
+	RejectedCrashDropped int
+	Preemptions          int
 	// SLOPreemptions counts evictions forced by at-risk TTFT deadlines
 	// (a subset of Preemptions).
 	SLOPreemptions int
+
+	// Fault-injection accounting (all zero without a FaultPlan).
+	// Retries totals crash re-submissions across requests;
+	// WorkLostTokens counts computed tokens discarded by crashes;
+	// ReplicaCrashes counts crash events applied (region outages count
+	// one per replica they kill); Ejections and Readmissions count
+	// health-tier transitions.
+	Retries        int
+	WorkLostTokens int
+	ReplicaCrashes int
+	Ejections      int
+	Readmissions   int
 
 	// SLOByClass aggregates deadline attainment per request class, for
 	// the classes that carried an SLO.
@@ -251,6 +271,35 @@ func (a *SLOAttainment) rate(met int) float64 {
 	return float64(met) / float64(total)
 }
 
+// WindowAttainment pools SLO attainment over the requests whose Class
+// begins with prefix (empty matches every class) and whose original
+// submission fell inside [from, to) — the recovery-window view of a
+// fault run: did the requests submitted while the fleet was broken
+// still meet their deadlines?
+func (r *Result) WindowAttainment(prefix string, from, to time.Duration) SLOAttainment {
+	var a SLOAttainment
+	for _, m := range r.PerRequest {
+		if m.SLO == nil || m.Arrival < from || m.Arrival >= to {
+			continue
+		}
+		if prefix != "" && !strings.HasPrefix(m.Class, prefix) {
+			continue
+		}
+		if m.Rejected {
+			a.Rejected++
+		} else {
+			a.Requests++
+		}
+		if m.TTFTMet() {
+			a.TTFTMet++
+		}
+		if m.TPOTMet() {
+			a.TPOTMet++
+		}
+	}
+	return a
+}
+
 // Throughput returns combined tokens/second over the makespan.
 func (r *Result) Throughput() float64 {
 	if r.Makespan <= 0 {
@@ -336,6 +385,7 @@ func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Resu
 				a.TPOTMet++
 			}
 		}
+		r.Retries += m.Retries
 		if m.Rejected {
 			r.Rejected++
 			switch m.RejectReason {
@@ -343,6 +393,8 @@ func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Resu
 				r.RejectedKVExhausted++
 			case RejectUnservablePrompt:
 				r.RejectedUnservable++
+			case RejectCrashDropped:
+				r.RejectedCrashDropped++
 			}
 			continue
 		}

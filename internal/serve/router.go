@@ -29,6 +29,15 @@ type ReplicaView struct {
 	// (TotalTokens) of the assigned work. It can go negative when the
 	// replica is oversubscribed.
 	FreeKVTokens int
+	// Live marks views carrying completion feedback: LiveRequests and
+	// LiveTokens count only work still on the replica (assigned minus
+	// finished, rejected, and crash-lost), where the Outstanding
+	// counters accumulate forever. Fleet controllers with a completion
+	// stream (the autoscaled and geo paths) set it; arrival-time
+	// snapshot routing leaves it false.
+	Live         bool
+	LiveRequests int
+	LiveTokens   int
 }
 
 // Router places each arriving request on a replica. Route is called in
@@ -111,6 +120,35 @@ func (joinShortestKV) Route(_ workload.Request, replicas []ReplicaView) int {
 	return best
 }
 
+// --- Live least loaded ---
+
+type liveLeastLoaded struct{}
+
+// NewLiveLeastLoadedRouter picks the replica with the fewest live
+// tokens — work assigned and not yet completed — ties to the lowest
+// index. On controllers that feed completions back (autoscaled fleets,
+// geo regions) this rebalances on actual queue depth over a long
+// trace; without live views it degrades to least-outstanding exactly.
+func NewLiveLeastLoadedRouter() Router { return liveLeastLoaded{} }
+
+func (liveLeastLoaded) Name() string { return "live-least-loaded" }
+
+func (liveLeastLoaded) Route(_ workload.Request, replicas []ReplicaView) int {
+	load := func(v ReplicaView) int {
+		if v.Live {
+			return v.LiveTokens
+		}
+		return v.OutstandingTokens
+	}
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		if load(replicas[i]) < load(replicas[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
 // --- Session/prefix affinity ---
 
 type affinity struct{ fallback Router }
@@ -185,6 +223,7 @@ var builtinRouters = []struct {
 }{
 	{"round-robin", NewRoundRobinRouter},
 	{"least-outstanding", NewLeastOutstandingRouter},
+	{"live-least-loaded", NewLiveLeastLoadedRouter},
 	{"join-shortest-kv", NewJoinShortestKVRouter},
 	{"affinity", NewAffinityRouter},
 }

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultMaxRetries bounds how many times a request lost to a replica
+// crash is re-submitted before it is dropped with a named rejection.
+const DefaultMaxRetries = 3
+
+// ReplicaCrash kills one replica at time At. Everything in flight on
+// the replica — queued, running, and already-routed-but-unarrived
+// requests — is lost and re-enqueued at the origin router with an
+// incremented retry count. Replica identifies the victim by spawn
+// order (0-based: the initial fleet first, then autoscaler spawns, in
+// order). Restart, when positive, is the absolute time the machine
+// comes back; zero means it never does.
+type ReplicaCrash struct {
+	Replica int
+	// Region names the region whose fleet the crash applies to. Empty
+	// matches the cluster tier or the first (home) region of a geo run.
+	Region  string
+	At      time.Duration
+	Restart time.Duration
+}
+
+// RegionOutage darkens a whole region for [Start, End): every live
+// replica crashes at Start, replicas spawned during the window start
+// dark, and the fleet recovers at End through the normal health-probe
+// readmission path.
+type RegionOutage struct {
+	Region string
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Degrade runs one replica at a Slowdown factor (>= 1) during
+// [Start, End) — a sick-but-alive machine: it keeps serving, just
+// slower, so only live-state routing can see it.
+type Degrade struct {
+	Replica  int
+	Region   string
+	Start    time.Duration
+	End      time.Duration
+	Slowdown float64
+}
+
+// FaultPlan schedules failures against a serving run. The zero value
+// injects nothing. Plans are interpreted by the serve tier's fault
+// controller; all timing is absolute trace time.
+type FaultPlan struct {
+	Crashes  []ReplicaCrash
+	Outages  []RegionOutage
+	Degrades []Degrade
+	// MaxRetries bounds re-submission of crash-lost requests; zero
+	// means DefaultMaxRetries.
+	MaxRetries int
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && len(p.Outages) == 0 && len(p.Degrades) == 0)
+}
+
+// Retries returns the effective retry bound.
+func (p *FaultPlan) Retries() int {
+	if p == nil || p.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return p.MaxRetries
+}
+
+// Validate checks the plan's internal consistency.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, c := range p.Crashes {
+		if c.Replica < 0 {
+			return fmt.Errorf("workload: crash %d has negative replica index", i)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("workload: crash %d has negative time", i)
+		}
+		if c.Restart != 0 && c.Restart <= c.At {
+			return fmt.Errorf("workload: crash %d restarts at %v, not after the crash at %v", i, c.Restart, c.At)
+		}
+	}
+	for i, o := range p.Outages {
+		if o.Start < 0 || o.End <= o.Start {
+			return fmt.Errorf("workload: outage %d window [%v, %v) is not a positive interval", i, o.Start, o.End)
+		}
+	}
+	for i, d := range p.Degrades {
+		if d.Replica < 0 {
+			return fmt.Errorf("workload: degrade %d has negative replica index", i)
+		}
+		if d.Start < 0 || d.End <= d.Start {
+			return fmt.Errorf("workload: degrade %d window [%v, %v) is not a positive interval", i, d.Start, d.End)
+		}
+		if d.Slowdown < 1 {
+			return fmt.Errorf("workload: degrade %d slowdown %.2f < 1", i, d.Slowdown)
+		}
+	}
+	return nil
+}

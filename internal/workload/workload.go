@@ -57,6 +57,25 @@ type Request struct {
 	// SLO optionally attaches latency deadlines. nil means the request
 	// carries no deadline and never triggers SLO-aware scheduling.
 	SLO *SLO
+	// Retries counts how many times this request was lost to a replica
+	// crash and re-submitted. Zero for the common no-fault case.
+	Retries int
+	// Submitted preserves the original submission time across crash
+	// re-enqueues (Arrival is rewritten to the re-enqueue time so the
+	// engine admits the retry when it actually re-arrives). Meaningful
+	// only when Retries > 0; use SubmittedAt.
+	Submitted time.Duration
+}
+
+// SubmittedAt returns the request's original submission time: Arrival
+// for a first attempt, the preserved Submitted stamp for a crash
+// retry. Latency metrics measure from here so retries pay for the
+// lost work.
+func (r Request) SubmittedAt() time.Duration {
+	if r.Retries > 0 {
+		return r.Submitted
+	}
+	return r.Arrival
 }
 
 // TotalTokens returns input+output, the unit of combined throughput.
