@@ -6,10 +6,16 @@
 
 GO ?= go
 PERFCOUNT ?= 5
+# Per-fuzzer budget for `make fuzz`; ci runs a short pass.
+FUZZTIME ?= 10s
+# Combined statement-coverage floor for internal/serve + internal/scenario
+# (recorded at 87.9% when the cache/fuzz/health test layer landed; the
+# margin absorbs counting noise, not deleted tests).
+COVERFLOOR ?= 86.0
 
-.PHONY: ci fmt vet test race bench bench-json perfbench build docs
+.PHONY: ci fmt vet test race bench bench-json perfbench build docs fuzz fuzz-short cover
 
-ci: fmt vet docs race bench bench-json
+ci: fmt vet docs race bench bench-json fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -55,6 +61,32 @@ bench-json:
 #   benchstat old.txt new.txt
 perfbench:
 	$(GO) test -run xxx -bench 'BenchmarkSimulator_' -benchmem -count $(PERFCOUNT) .
+
+# Native fuzzers over the scenario registry's input surface (simctl's
+# -p key=value parsing): each target runs FUZZTIME. The seeded corpora
+# live in internal/scenario/testdata/fuzz and also run as plain tests
+# under `go test`.
+fuzz:
+	$(GO) test -run xxx -fuzz '^FuzzParseValue$$' -fuzztime $(FUZZTIME) ./internal/scenario
+	$(GO) test -run xxx -fuzz '^FuzzScenarioParse$$' -fuzztime $(FUZZTIME) ./internal/scenario
+
+# The ci-speed fuzz pass: long enough to exercise the mutators past the
+# seed corpus, short enough not to dominate the gate.
+fuzz-short:
+	@$(MAKE) --no-print-directory FUZZTIME=2s fuzz
+
+# Combined statement coverage of the serving simulator and the scenario
+# registry, enforced against the recorded floor so the property/fuzz
+# test layer cannot silently rot.
+cover:
+	@$(GO) test -count=1 -coverprofile=.cover.out \
+		-coverpkg=./internal/serve/...,./internal/scenario/... \
+		./internal/serve/... ./internal/scenario/... > /dev/null
+	@total="$$($(GO) tool cover -func=.cover.out | awk '/^total:/ {sub(/%/,"",$$NF); print $$NF}')"; \
+	rm -f .cover.out; \
+	echo "cover: $$total% of statements (floor $(COVERFLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVERFLOOR)" 'BEGIN { exit (t+0 < f+0) }' || \
+		{ echo "cover: $$total% fell below the $(COVERFLOOR)% floor"; exit 1; }
 
 # Documentation lint: formatting, vet, and a package comment on every
 # internal package (godoc's "Package <name> ..." convention).

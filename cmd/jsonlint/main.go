@@ -1,6 +1,7 @@
 // Command jsonlint validates the BENCH_*.json files `simctl run -json`
 // emits: each must parse and contain at least one named section with a
-// non-empty table. `make bench-json` runs it on every emitted file in
+// non-empty table whose rows are full-width and unique within the
+// section. `make bench-json` runs it on every emitted file in
 // one glob invocation so CI fails on malformed perf output. Every
 // file's problems are reported before the non-zero exit, so one broken
 // suite file does not mask the rest.
@@ -76,11 +77,23 @@ func lint(path string) []error {
 			errs = append(errs, fmt.Errorf("section %s has an empty table", s.Name))
 			continue
 		}
+		// Two identical rows in one section mean a sweep emitted the
+		// same axis point twice (or dropped the column distinguishing
+		// two points) — the trajectory would silently double-count it.
+		seen := map[string]int{}
 		for i, row := range s.Table.Rows {
 			if len(row) != len(s.Table.Header) {
 				errs = append(errs, fmt.Errorf("section %s row %d has %d cells for %d columns",
 					s.Name, i, len(row), len(s.Table.Header)))
+				continue
 			}
+			key := strings.Join(row, "\x1f")
+			if prev, dup := seen[key]; dup {
+				errs = append(errs, fmt.Errorf("section %s rows %d and %d are identical: %v",
+					s.Name, prev, i, row))
+				continue
+			}
+			seen[key] = i
 		}
 	}
 	if len(errs) == 0 {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a bench-file body into a temp file and lints it.
+func lintBody(t *testing.T, body string) []error {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return lint(path)
+}
+
+func TestLintAcceptsWellFormedFile(t *testing.T) {
+	errs := lintBody(t, `{"sections":[{"name":"s","table":{"header":["A","B"],"rows":[["1","2"],["1","3"]]}}]}`)
+	if len(errs) != 0 {
+		t.Fatalf("well-formed file rejected: %v", errs)
+	}
+}
+
+func TestLintRejectsDuplicateRows(t *testing.T) {
+	errs := lintBody(t, `{"sections":[{"name":"s","table":{"header":["A","B"],"rows":[["1","2"],["x","y"],["1","2"]]}}]}`)
+	if len(errs) != 1 {
+		t.Fatalf("duplicate rows produced %d errors, want 1: %v", len(errs), errs)
+	}
+	msg := errs[0].Error()
+	if !strings.Contains(msg, "rows 0 and 2") {
+		t.Fatalf("duplicate error does not name both row indices: %q", msg)
+	}
+}
+
+func TestLintDistinguishesCellBoundaries(t *testing.T) {
+	// ["ab","c"] and ["a","bc"] concatenate identically; the separator
+	// must keep them distinct rows.
+	errs := lintBody(t, `{"sections":[{"name":"s","table":{"header":["A","B"],"rows":[["ab","c"],["a","bc"]]}}]}`)
+	if len(errs) != 0 {
+		t.Fatalf("distinct rows flagged as duplicates: %v", errs)
+	}
+}
+
+func TestLintRejectsMalformedFiles(t *testing.T) {
+	cases := map[string]string{
+		"not json":    `{`,
+		"no sections": `{"sections":[]}`,
+		"unnamed":     `{"sections":[{"name":"","table":{"header":["A"],"rows":[["1"]]}}]}`,
+		"empty table": `{"sections":[{"name":"s","table":{"header":[],"rows":[]}}]}`,
+		"ragged row":  `{"sections":[{"name":"s","table":{"header":["A","B"],"rows":[["1"]]}}]}`,
+	}
+	for name, body := range cases {
+		if errs := lintBody(t, body); len(errs) == 0 {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

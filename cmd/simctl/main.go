@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -89,17 +90,23 @@ func (p params) Set(s string) error {
 	return nil
 }
 
-func runList() {
-	fmt.Println("Registered scenarios (run with: simctl run <name> [-p key=value]...):")
-	fmt.Println()
+func runList() { writeList(os.Stdout) }
+
+// writeList renders the registry listing — names, summaries, and
+// declared params. The exact output is pinned by TestListGolden
+// against testdata/list.golden: registry changes must regenerate it
+// (go run ./cmd/simctl list > cmd/simctl/testdata/list.golden).
+func writeList(w io.Writer) {
+	fmt.Fprintln(w, "Registered scenarios (run with: simctl run <name> [-p key=value]...):")
+	fmt.Fprintln(w)
 	for _, s := range scenario.List() {
-		fmt.Printf("  %-24s %s\n", s.Name, s.Summary)
+		fmt.Fprintf(w, "  %-24s %s\n", s.Name, s.Summary)
 		for _, p := range s.Params {
 			def := "unset"
 			if p.Default != nil {
 				def = fmt.Sprintf("%v", p.Default)
 			}
-			fmt.Printf("  %-24s   -p %s=<%s> (default %s): %s\n", "", p.Name, p.Kind, def, p.Help)
+			fmt.Fprintf(w, "  %-24s   -p %s=<%s> (default %s): %s\n", "", p.Name, p.Kind, def, p.Help)
 		}
 	}
 }

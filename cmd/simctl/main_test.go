@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestListGolden pins `simctl list` — the registry's user-facing
+// surface — byte-for-byte: scenario names, one-line summaries, and
+// every declared param with its kind, default, and help text. Any
+// registry change must update the golden deliberately:
+//
+//	go run ./cmd/simctl list > cmd/simctl/testdata/list.golden
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	writeList(&buf)
+	golden, err := os.ReadFile("testdata/list.golden")
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with: go run ./cmd/simctl list > cmd/simctl/testdata/list.golden): %v", err)
+	}
+	if buf.String() == string(golden) {
+		return
+	}
+	got := bytes.Split(buf.Bytes(), []byte("\n"))
+	want := bytes.Split(golden, []byte("\n"))
+	for i := 0; i < len(got) || i < len(want); i++ {
+		var g, w []byte
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if !bytes.Equal(g, w) {
+			t.Fatalf("list output diverged from testdata/list.golden at line %d:\ngot:  %s\nwant: %s\n(deliberate? regenerate with: go run ./cmd/simctl list > cmd/simctl/testdata/list.golden)",
+				i+1, g, w)
+		}
+	}
+	t.Fatal(fmt.Sprintf("list output diverged from testdata/list.golden (%d vs %d bytes)", buf.Len(), len(golden)))
+}

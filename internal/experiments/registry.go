@@ -323,6 +323,32 @@ func init() {
 		}),
 	})
 	scenario.Register(scenario.Scenario{
+		Name:    "cache-measured",
+		Summary: "Measured per-replica prefix cache: routing policies vs the assumed-rate baseline",
+		Params: []scenario.Param{
+			{Name: "share", Kind: scenario.Float, Default: 0.6,
+				Help: "prefix fraction served from cache on a hit (the assumed-rate ceiling)"},
+			{Name: "routers", Kind: scenario.Strings, Default: nil,
+				Help: "router policies to sweep (default least-outstanding,round-robin,affinity,cache-aware)"},
+		},
+		Run: func(se scenario.Env, v scenario.Values) ([]stats.Section, error) {
+			return CacheMeasured(Env(se), v.Float("share"), v.StringList("routers"))
+		},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:    "shared-cache-tier",
+		Summary: "Fleet-level shared cache: repeated-prompt fraction x shared-cache answer latency",
+		Params: []scenario.Param{
+			{Name: "repeats", Kind: scenario.Floats, Default: nil,
+				Help: "repeated-prompt fractions to sweep (default 0,0.25,0.5,0.75; quick 0,0.5)"},
+			{Name: "latencies", Kind: scenario.Durations, Default: nil,
+				Help: "shared-cache answer latencies to sweep (default 5ms,50ms)"},
+		},
+		Run: func(se scenario.Env, v scenario.Values) ([]stats.Section, error) {
+			return SharedCacheTier(Env(se), v.FloatList("repeats"), v.DurationList("latencies"))
+		},
+	})
+	scenario.Register(scenario.Scenario{
 		Name:    "outage-spillover",
 		Summary: "Geo policies with the home region dark: the remote-salvage break-even",
 		Params: []scenario.Param{{Name: "outage", Kind: scenario.Duration, Default: 60 * time.Second,

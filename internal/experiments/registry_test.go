@@ -22,6 +22,7 @@ var goldenScenarios = []string{
 	"ablation-threshold",
 	"autoscaling",
 	"burstbench",
+	"cache-measured",
 	"cluster-routing",
 	"clusterbench",
 	"engine-hotpath",
@@ -44,6 +45,7 @@ var goldenScenarios = []string{
 	"geobench",
 	"hetero-routing",
 	"outage-spillover",
+	"shared-cache-tier",
 	"simbench",
 	"simulator-speed",
 	"table1",

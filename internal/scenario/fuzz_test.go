@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// typeMatchesKind checks a successfully parsed value against its
+// declared kind — the fuzz invariant's "correctly typed" half.
+func typeMatchesKind(k Kind, v any) bool {
+	switch k {
+	case String:
+		_, ok := v.(string)
+		return ok
+	case Bool:
+		_, ok := v.(bool)
+		return ok
+	case Int:
+		_, ok := v.(int)
+		return ok
+	case Float:
+		_, ok := v.(float64)
+		return ok
+	case Duration:
+		_, ok := v.(time.Duration)
+		return ok
+	case Strings:
+		_, ok := v.([]string)
+		return ok
+	case Ints:
+		_, ok := v.([]int)
+		return ok
+	case Floats:
+		_, ok := v.([]float64)
+		return ok
+	case Durations:
+		_, ok := v.([]time.Duration)
+		return ok
+	}
+	return false
+}
+
+// FuzzParseValue fuzzes the single-value parser across every declared
+// Kind (and out-of-range kinds): malformed input must produce an error,
+// never a panic, and accepted input must carry the kind's Go type.
+func FuzzParseValue(f *testing.F) {
+	seeds := []struct {
+		kind  int
+		value string
+	}{
+		{int(String), "hello"},
+		{int(Bool), "true"},
+		{int(Int), "42"},
+		{int(Float), "0.75"},
+		{int(Duration), "150ms"},
+		{int(Strings), "a, b ,c"},
+		{int(Ints), "1,2,3"},
+		{int(Floats), "0.1,0.9"},
+		{int(Durations), "5ms,50ms"},
+		{int(Int), "not-an-int"},
+		{int(Bool), "maybe"},
+		{int(Duration), "10 parsecs"},
+		{int(Ints), "1,,3"},
+		{int(Floats), ""},
+		{int(Durations), ","},
+		{99, "out-of-range kind"},
+		{-1, "negative kind"},
+	}
+	for _, s := range seeds {
+		f.Add(s.kind, s.value)
+	}
+	f.Fuzz(func(t *testing.T, kind int, value string) {
+		k := Kind(kind)
+		v, err := parseValue(k, value)
+		if kind < int(String) || kind > int(Durations) {
+			if err == nil {
+				t.Fatalf("parseValue accepted undeclared kind %d", kind)
+			}
+			return
+		}
+		if err != nil {
+			return // rejected: the only other acceptable outcome
+		}
+		if !typeMatchesKind(k, v) {
+			t.Fatalf("parseValue(%v, %q) returned %T, wrong type for the kind", k, value, v)
+		}
+	})
+}
+
+// fuzzScenario declares one param of every kind. Parse operates on the
+// literal directly — registration is irrelevant to input validation.
+var fuzzScenario = Scenario{
+	Name:    "fuzz-target",
+	Summary: "input-validation fuzz target",
+	Params: []Param{
+		{Name: "s", Kind: String, Default: "x"},
+		{Name: "b", Kind: Bool, Default: false},
+		{Name: "i", Kind: Int, Default: 1},
+		{Name: "f", Kind: Float, Default: 0.5},
+		{Name: "d", Kind: Duration, Default: time.Second},
+		{Name: "ss", Kind: Strings, Default: nil},
+		{Name: "is", Kind: Ints, Default: nil},
+		{Name: "fs", Kind: Floats, Default: nil},
+		{Name: "ds", Kind: Durations, Default: nil},
+	},
+	Run: func(Env, Values) ([]stats.Section, error) { return nil, nil },
+}
+
+// FuzzScenarioParse fuzzes the full key=value surface simctl exposes:
+// arbitrary keys (declared or not) with arbitrary text. Parse must
+// error on anything malformed — never panic — and on success return a
+// complete Values whose typed getters all work.
+func FuzzScenarioParse(f *testing.F) {
+	seeds := [][2]string{
+		{"s", "hello"}, {"b", "1"}, {"i", "-3"}, {"f", "2.5e-3"}, {"d", "1h30m"},
+		{"ss", "a,b"}, {"is", "4,8"}, {"fs", "0.25,0.75"}, {"ds", "1ms,1s"},
+		{"unknown", "anything"}, {"i", "0x10"}, {"ds", "soon"}, {"", ""},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, key, value string) {
+		vals, err := fuzzScenario.Parse(map[string]string{key: value})
+		if err != nil {
+			if !fuzzScenario.HasParam(key) {
+				return // unknown keys must error; nothing more to check
+			}
+			return
+		}
+		if !fuzzScenario.HasParam(key) {
+			t.Fatalf("Parse accepted undeclared key %q", key)
+		}
+		if len(vals) != len(fuzzScenario.Params) {
+			t.Fatalf("Parse returned %d values for %d declared params", len(vals), len(fuzzScenario.Params))
+		}
+		// Every getter must return without panicking, whether the param
+		// came from the fuzzed input or its default.
+		vals.String("s")
+		vals.Bool("b")
+		vals.Int("i")
+		vals.Float("f")
+		vals.Duration("d")
+		vals.StringList("ss")
+		vals.IntList("is")
+		vals.FloatList("fs")
+		vals.DurationList("ds")
+	})
+}

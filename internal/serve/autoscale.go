@@ -757,6 +757,10 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 	if err := ac.validate(len(c.Configs)); err != nil {
 		return nil, err
 	}
+	if err := c.SharedCache.validate(); err != nil {
+		return nil, err
+	}
+	shared := newSharedTier(c.SharedCache)
 	router := c.Router
 	if router == nil {
 		router = NewLeastOutstandingRouter()
@@ -835,6 +839,13 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 			if err := fc.flush(r.Arrival); err != nil {
 				return nil, err
 			}
+		}
+		// The shared tier answers fresh arrivals only; crash retries
+		// re-enter routing through fc without consulting it.
+		if shared.intercept(r) {
+			continue
+		}
+		if fc != nil {
 			if err := fc.place(r, r.Arrival); err != nil {
 				return nil, err
 			}
@@ -871,7 +882,9 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 	if fc != nil {
 		metrics = append(metrics, fc.dropped...)
 	}
+	metrics = append(metrics, shared.metricsList()...)
 	res := buildResult(c.Name, metrics, engines)
+	shared.fill(res)
 	fleet.finish(res)
 	res.ReplicaCrashes = fleet.crashCount
 	res.Ejections = fleet.ejections

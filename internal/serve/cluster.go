@@ -39,6 +39,11 @@ type Cluster struct {
 	// Health, when set, enables the router's health-check tier even
 	// without a fault plan; see HealthConfig.
 	Health *HealthConfig
+	// SharedCache, when set, answers repeated prompts (requests sharing
+	// a PromptKey) at the balancer after the configured latency, before
+	// any engine sees them; see SharedCacheConfig. Works on both the
+	// plain and the autoscaled/fault paths.
+	SharedCache *SharedCacheConfig
 	// Parallelism bounds the worker pool that steps independent
 	// (non-lockstep) replicas concurrently: 0 uses GOMAXPROCS, 1 forces
 	// the serial path. Every setting produces byte-identical Results —
@@ -89,6 +94,9 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	if err := c.SharedCache.validate(); err != nil {
+		return nil, err
+	}
 	engines := make([]*Engine, len(c.Configs))
 	for i, cfg := range c.Configs {
 		e, err := NewEngine(cfg)
@@ -99,7 +107,8 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 		engines[i] = e
 	}
 
-	assigned, err := routeTrace(c.Router, t, c.Configs, engines)
+	shared := newSharedTier(c.SharedCache)
+	assigned, err := routeTrace(c.Router, t, c.Configs, engines, shared)
 	if err != nil {
 		return nil, err
 	}
@@ -119,13 +128,18 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 			metrics = append(metrics, share...)
 		}
 	}
-	return buildResult(c.Name, metrics, engines), nil
+	metrics = append(metrics, shared.metricsList()...)
+	res := buildResult(c.Name, metrics, engines)
+	shared.fill(res)
+	return res, nil
 }
 
 // routeTrace assigns every request of the trace to exactly one replica
 // (conservation: the shares partition the trace), updating the router's
-// view of outstanding work after each placement.
-func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engine) ([][]workload.Request, error) {
+// view of outstanding work after each placement. A non-nil shared tier
+// intercepts repeated prompts before they reach the router — shared-hit
+// requests are answered at the balancer and appear in no share.
+func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engine, shared *sharedTier) ([][]workload.Request, error) {
 	if router == nil {
 		router = NewLeastOutstandingRouter()
 	}
@@ -143,6 +157,9 @@ func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engi
 	}
 	assigned := make([][]workload.Request, len(engines))
 	for _, r := range t.Requests {
+		if shared.intercept(r) {
+			continue
+		}
 		i := router.Route(r, views)
 		if i < 0 || i >= len(engines) {
 			return nil, fmt.Errorf("serve: router %s returned replica %d of %d", router.Name(), i, len(engines))

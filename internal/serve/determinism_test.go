@@ -149,6 +149,112 @@ func TestGeoParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// cachedDeterminismTrace layers the cache keys onto the determinism
+// workload: recurring sessions (so the measured prefix cache has hits
+// to count) and repeated prompts (so the shared tier intercepts).
+func cachedDeterminismTrace(t *testing.T, seed uint64) *workload.Trace {
+	t.Helper()
+	tr := determinismTrace(t, seed)
+	for i := range tr.Requests {
+		tr.Requests[i].Session = fmt.Sprintf("sess-%d", i%5)
+	}
+	return tr.StampPromptKeys(seed, 0.3, 16)
+}
+
+// TestCachedClusterParallelMatchesSerial extends the plain-fleet
+// determinism contract to the measured caches: the per-replica prefix
+// cache, the shared tier, and the stateful cache-aware router must all
+// be byte-identical between the serial and pooled stepping paths.
+func TestCachedClusterParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := cachedDeterminismTrace(t, 17)
+	serial, parallel := runBoth(t, func(p int) (*Result, error) {
+		cfg := Config{
+			CM: cm, Par: perf.Parallelism{SP: 1, TP: 1},
+			PrefixCache: &PrefixCacheConfig{ShareFraction: 0.5, CapacityTokens: 1 << 16},
+		}
+		cl := DPCluster("det-cache", cfg, 4)
+		cl.Lockstep = false
+		cl.Parallelism = p
+		cl.Router = NewCacheAwareRouter()
+		cl.SharedCache = &SharedCacheConfig{Latency: 20 * time.Millisecond}
+		return cl.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel cached Cluster.Run diverged from the serial path")
+	}
+}
+
+// TestCachedAutoscaleParallelMatchesSerial pins the same contract where
+// replicas come and go: cache state lives on engines (spawned cold,
+// drained away) and the shared tier sits before the fault/scale router.
+func TestCachedAutoscaleParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := cachedDeterminismTrace(t, 19)
+	serial, parallel := runBoth(t, func(p int) (*Result, error) {
+		cfg := Config{
+			CM: cm, Par: perf.Parallelism{SP: 1, TP: 1},
+			PrefixCache: &PrefixCacheConfig{ShareFraction: 0.4},
+		}
+		cl := DPCluster("det-cache-auto", cfg, 2)
+		cl.Lockstep = false
+		cl.Parallelism = p
+		cl.Router = NewCacheAwareRouter()
+		cl.SharedCache = &SharedCacheConfig{Latency: 20 * time.Millisecond}
+		cl.Autoscale = &AutoscaleConfig{
+			Scaler:    NewQueueDepthAutoscaler(),
+			Interval:  5 * time.Second,
+			ColdStart: 5 * time.Second,
+			Min:       2,
+			Max:       6,
+		}
+		return cl.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel cached autoscaled run diverged from the serial path")
+	}
+}
+
+// TestCachedGeoParallelMatchesSerial pins the geo tier with both cache
+// layers active: the shared tier intercepts before region placement and
+// every regional engine runs its own measured prefix cache.
+func TestCachedGeoParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := cachedDeterminismTrace(t, 23)
+	for i := range tr.Requests {
+		if i%3 == 0 {
+			tr.Requests[i].Origin = "east"
+		} else {
+			tr.Requests[i].Origin = "west"
+		}
+	}
+	serial, parallel := runBoth(t, func(p int) (*Result, error) {
+		cfg := Config{
+			CM: cm, Par: perf.Parallelism{SP: 1, TP: 1},
+			PrefixCache: &PrefixCacheConfig{ShareFraction: 0.5},
+		}
+		regions := make([]Region, 2)
+		for i := range regions {
+			regions[i] = Region{
+				Configs: []Config{cfg, cfg},
+				Router:  NewCacheAwareRouter(),
+			}
+		}
+		g := Geo{
+			Name:        "det-cache-geo",
+			Topology:    UniformTopology(120*time.Millisecond, "west", "east"),
+			Regions:     regions,
+			Router:      NewSpillOverRouter(),
+			SharedCache: &SharedCacheConfig{Latency: 20 * time.Millisecond},
+			Parallelism: p,
+		}
+		return g.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel cached Geo.Run diverged from the serial path")
+	}
+}
+
 // TestRejectReasonsSplitRejectedCount exercises both named rejection
 // causes and checks the Result split covers the total.
 func TestRejectReasonsSplitRejectedCount(t *testing.T) {

@@ -63,6 +63,12 @@ type Config struct {
 	// prefix cache (vLLM automatic prefix caching): those tokens skip
 	// prefill compute but still occupy KV blocks. 0 disables.
 	PrefixCacheHitRate float64
+	// PrefixCache, when set, replaces the assumed PrefixCacheHitRate
+	// with a measured per-replica cache: a request's prefix is served
+	// from cache only when its cache key actually landed on this replica
+	// before (and survived LRU eviction). See PrefixCacheConfig. nil
+	// keeps the assumed-rate path byte-identical.
+	PrefixCache *PrefixCacheConfig
 }
 
 // Defaults mirroring vLLM's.
@@ -102,6 +108,9 @@ func (c Config) Validate() error {
 	}
 	if c.PrefixCacheHitRate < 0 || c.PrefixCacheHitRate >= 1 {
 		return fmt.Errorf("serve: prefix cache hit rate %v outside [0, 1)", c.PrefixCacheHitRate)
+	}
+	if err := c.PrefixCache.validate(); err != nil {
+		return err
 	}
 	return c.Stack.Validate()
 }
@@ -257,6 +266,16 @@ type Engine struct {
 	tokensServed int
 	events       []IterEvent
 	recordEvents bool
+
+	// Measured prefix cache (nil unless Config.PrefixCache is set).
+	// cacheHits+cacheMisses increment exactly once per admitted request;
+	// cacheCachedTokens sums the prompt tokens hits actually served from
+	// cache (post-clamp), so it never exceeds ShareFraction of the
+	// admitted prompt volume.
+	pcache            *lruCache
+	cacheHits         int
+	cacheMisses       int
+	cacheCachedTokens int
 }
 
 // IterEvent records one engine iteration for time-series plots (Fig 7).
@@ -284,10 +303,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if capTokens <= 0 {
 		return nil, fmt.Errorf("serve: engine %q: model does not fit (%s, shift=%v)", cfg.Name, cfg.Par, withShift)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:   cfg,
 		alloc: kvcache.NewAllocator(cfg.BlockTokens, capTokens/cfg.BlockTokens),
-	}, nil
+	}
+	if pc := cfg.PrefixCache; pc != nil {
+		capTok := pc.CapacityTokens
+		if capTok == 0 {
+			capTok = e.KVCapacityTokens()
+		}
+		e.pcache = newLRU(capTok, 0)
+	}
+	return e, nil
 }
 
 // KVCapacityTokens exposes the engine's KV budget (for tests and docs).
@@ -342,9 +369,24 @@ func (e *Engine) admit() {
 	for e.nextIdx < len(e.arrivals) && e.arrivals[e.nextIdx].Arrival <= e.now {
 		r := e.arrivals[e.nextIdx]
 		cached := int(e.cfg.PrefixCacheHitRate * float64(r.InputTokens))
+		if e.pcache != nil {
+			// Measured path: a hit requires this replica to have served
+			// the key before. Keyless requests always miss and are not
+			// inserted — they have no reusable prefix.
+			cached = 0
+			if key := r.CacheKey(); key != "" && e.pcache.access(key, r.InputTokens) {
+				e.cacheHits++
+				cached = int(e.cfg.PrefixCache.ShareFraction * float64(r.InputTokens))
+			} else {
+				e.cacheMisses++
+			}
+		}
 		if cached > r.InputTokens-1 {
 			// At least the prompt's last token always runs (vLLM APC).
 			cached = r.InputTokens - 1
+		}
+		if e.pcache != nil {
+			e.cacheCachedTokens += cached
 		}
 		e.waiting.pushBack(&seq{
 			req: r, effInput: r.InputTokens, cached: cached, prefilled: cached,
@@ -806,6 +848,11 @@ func (e *Engine) crashDrain() (lost []workload.Request, lostTokens int) {
 	lost = append(lost, e.arrivals[e.nextIdx:]...)
 	e.arrivals = e.arrivals[:0:0]
 	e.nextIdx = 0
+	if e.pcache != nil {
+		// The crash wiped the replica's KV, and the cached prefixes with
+		// it: a restarted replica starts cold.
+		e.pcache.clear()
+	}
 	return lost, lostTokens
 }
 

@@ -377,6 +377,11 @@ type Geo struct {
 	// defaults; see HealthConfig. Setting it without Faults enables the
 	// tier (probes simply never fail).
 	Health *HealthConfig
+	// SharedCache, when set, answers repeated prompts (requests sharing
+	// a PromptKey) at the geo balancer after the configured latency,
+	// before region placement; hits are billed to the request's origin
+	// region with no RTT. See SharedCacheConfig.
+	SharedCache *SharedCacheConfig
 	// RecordEvents enables per-iteration event capture on every engine.
 	RecordEvents bool
 	// Parallelism bounds the worker pools that advance regions (and,
@@ -567,6 +572,10 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 	if r, ok := router.(resettable); ok {
 		r.reset()
 	}
+	if err := g.SharedCache.validate(); err != nil {
+		return nil, err
+	}
+	shared := newSharedTier(g.SharedCache)
 
 	// Fault wiring: resolve the plan's region scopes (empty names the
 	// home region, topology index 0) and build the cross-region crash
@@ -844,6 +853,11 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		if err := flush(r.Arrival); err != nil {
 			return nil, err
 		}
+		// The shared tier answers fresh arrivals only; crash retries and
+		// outage refugees re-route through place without consulting it.
+		if shared.intercept(r) {
+			continue
+		}
 		if err := place(r, r.Arrival); err != nil {
 			return nil, err
 		}
@@ -875,7 +889,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		}
 	}
 
-	return g.buildGeoResult(runs, gf)
+	return g.buildGeoResult(runs, gf, shared)
 }
 
 // noHorizon is an unreachable event horizon: drain-phase ticks always
@@ -886,7 +900,7 @@ const noHorizon = time.Duration(1<<63 - 1)
 // the inter-region RTT to remotely served requests, and assembles the
 // global plus per-region accounting — including, under fault
 // injection, the crash-dropped records and recovery counters.
-func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults) (*Result, error) {
+func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults, shared *sharedTier) (*Result, error) {
 	var metrics []RequestMetrics
 	var engines []*Engine
 	for gi, rr := range runs {
@@ -924,7 +938,19 @@ func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults) (*Result, error) {
 			metrics = append(metrics, m)
 		}
 	}
+	// Shared-tier hits were answered at the origin region's balancer: no
+	// engine, no RTT; RegionStats bills them as served in their origin.
+	for _, m := range shared.metricsList() {
+		origin, err := originOfName(g.Topology, m.Origin)
+		if err != nil {
+			return nil, err
+		}
+		m.Origin = g.Topology.Regions[origin]
+		m.Region = m.Origin
+		metrics = append(metrics, m)
+	}
 	res := buildResult(g.Name, metrics, engines)
+	shared.fill(res)
 	for _, rr := range runs {
 		res.ReplicaCrashes += rr.fleet.crashCount
 		res.Ejections += rr.fleet.ejections

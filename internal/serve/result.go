@@ -152,6 +152,27 @@ type Result struct {
 	Ejections      int
 	Readmissions   int
 
+	// Measured-cache accounting (all zero unless Config.PrefixCache is
+	// set on the engines). CacheHits+CacheMisses equals the number of
+	// requests the engines admitted for prefill; CacheCachedTokens sums
+	// the prompt tokens actually served from cache, so the measured
+	// token share never exceeds the ShareFraction ceiling. ReplicaCaches
+	// breaks the counters down per replica in fleet order.
+	CacheHits         int
+	CacheMisses       int
+	CacheEvictions    int
+	CacheCachedTokens int
+	ReplicaCaches     []ReplicaCacheStats
+
+	// Shared-tier accounting (all zero unless SharedCache is set on the
+	// cluster or geo). SharedHits counts requests answered at the
+	// balancer (their PerRequest rows carry Replica == SharedCacheReplica
+	// and never reached an engine); SharedMisses counts keyed requests
+	// that fell through to routing. Keyless requests are not counted.
+	SharedHits      int
+	SharedMisses    int
+	SharedEvictions int
+
 	// SLOByClass aggregates deadline attainment per request class, for
 	// the classes that carried an SLO.
 	SLOByClass map[string]*SLOAttainment
@@ -181,6 +202,34 @@ type Result struct {
 	// attainment, and replica-seconds, so cost stays comparable across
 	// geo routing policies.
 	RegionStats []RegionStats
+}
+
+// ReplicaCacheStats is one replica's measured prefix-cache outcome.
+type ReplicaCacheStats struct {
+	Name      string
+	Hits      int
+	Misses    int
+	Evictions int
+}
+
+// MeasuredHitRate returns the fleet-wide measured prefix-cache hit rate
+// (hits over admitted prefills), 0 when measurement was off.
+func (r *Result) MeasuredHitRate() float64 {
+	n := r.CacheHits + r.CacheMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(n)
+}
+
+// SharedHitRate returns the shared tier's hit rate over the keyed
+// requests it saw, 0 when the tier was off (or saw none).
+func (r *Result) SharedHitRate() float64 {
+	n := r.SharedHits + r.SharedMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(r.SharedHits) / float64(n)
 }
 
 // RegionStats aggregates one region's share of a geo run. TTFT and SLO
@@ -420,6 +469,16 @@ func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Resu
 		r.Cost.AllToAll += e.cost.AllToAll
 		r.Cost.Overhead += e.cost.Overhead
 		r.Events = append(r.Events, e.events...)
+		if e.pcache != nil {
+			r.CacheHits += e.cacheHits
+			r.CacheMisses += e.cacheMisses
+			r.CacheEvictions += e.pcache.evictions
+			r.CacheCachedTokens += e.cacheCachedTokens
+			r.ReplicaCaches = append(r.ReplicaCaches, ReplicaCacheStats{
+				Name: e.cfg.Name, Hits: e.cacheHits,
+				Misses: e.cacheMisses, Evictions: e.pcache.evictions,
+			})
+		}
 	}
 	// Fixed-fleet accounting: every engine is provisioned for the whole
 	// run. Autoscaled runs overwrite these from replica lifetimes.

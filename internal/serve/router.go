@@ -178,20 +178,24 @@ func (a affinity) Route(r workload.Request, replicas []ReplicaView) int {
 	session := fnvHash(r.Session)
 	best, bestScore := 0, uint64(0)
 	for i, rep := range replicas {
-		name := rep.Name
-		if name == "" {
-			// Unnamed replicas (hand-built fleets outside the helper
-			// constructors) would all score identically and collapse every
-			// session onto index 0; fall back to the index as the identity.
-			// Index-keyed mappings are not sticky across scale events, but
-			// they spread — and named fleets are unaffected.
-			name = strconv.Itoa(rep.Index)
-		}
-		if s := rendezvousScore(session, name); i == 0 || s > bestScore {
+		if s := rendezvousScore(session, replicaIdentity(rep)); i == 0 || s > bestScore {
 			best, bestScore = i, s
 		}
 	}
 	return best
+}
+
+// replicaIdentity names a replica for key-keyed routing state. Unnamed
+// replicas (hand-built fleets outside the helper constructors) would all
+// score identically and collapse every session onto index 0; fall back
+// to the index as the identity. Index-keyed mappings are not sticky
+// across scale events, but they spread — and named fleets are
+// unaffected.
+func replicaIdentity(v ReplicaView) string {
+	if v.Name != "" {
+		return v.Name
+	}
+	return strconv.Itoa(v.Index)
 }
 
 func fnvHash(s string) uint64 {
@@ -215,6 +219,50 @@ func rendezvousScore(sessionHash uint64, replica string) uint64 {
 	return x
 }
 
+// --- Cache-aware (join-shortest-kv with an expected-hit credit) ---
+
+type cacheAware struct {
+	last map[string]string // cache key → identity of the replica it last served
+}
+
+// NewCacheAwareRouter extends join-shortest-kv with an expected-hit
+// credit: the replica that last served a request's cache key (session,
+// else prompt key) scores as if it had the request's prompt tokens of
+// extra free KV — an expected prefix hit skips recomputing that prefix,
+// so the replica is effectively that much less loaded. Keyless requests
+// score exactly like join-shortest-kv. Unlike affinity's hash mapping,
+// the credit is weighed against real load: a hot replica loses the
+// session once its KV deficit outgrows the prompt-sized credit, trading
+// a cold prefix for load balance. Placement state keys replica names
+// (indices for unnamed fleets), so it survives autoscale renumbering.
+func NewCacheAwareRouter() Router { return &cacheAware{last: map[string]string{}} }
+
+func (*cacheAware) Name() string { return "cache-aware" }
+
+func (c *cacheAware) reset() { clear(c.last) }
+
+func (c *cacheAware) Route(r workload.Request, replicas []ReplicaView) int {
+	key := r.CacheKey()
+	var home string
+	if key != "" {
+		home = c.last[key]
+	}
+	best, bestScore := 0, 0
+	for i, rep := range replicas {
+		score := rep.FreeKVTokens
+		if home != "" && replicaIdentity(rep) == home {
+			score += r.InputTokens
+		}
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if key != "" {
+		c.last[key] = replicaIdentity(replicas[best])
+	}
+	return best
+}
+
 // builtinRouters is the single registry RouterNames and NewRouter both
 // derive from; new policies are added here once.
 var builtinRouters = []struct {
@@ -226,6 +274,7 @@ var builtinRouters = []struct {
 	{"live-least-loaded", NewLiveLeastLoadedRouter},
 	{"join-shortest-kv", NewJoinShortestKVRouter},
 	{"affinity", NewAffinityRouter},
+	{"cache-aware", NewCacheAwareRouter},
 }
 
 // RouterNames lists the built-in policies in presentation order.

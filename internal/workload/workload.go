@@ -46,6 +46,12 @@ type Request struct {
 	// belongs to — the affinity router's key. Empty means sessionless:
 	// affinity routing falls back to load balancing for such requests.
 	Session string
+	// PromptKey optionally identifies the request's verbatim prompt
+	// content: requests sharing a PromptKey are exact repeats, answerable
+	// by a fleet-level shared cache tier and co-locatable by cache-aware
+	// routing. Empty means unique content. Sizes are left to the request
+	// (a shared-cache hit returns a response of the request's own size).
+	PromptKey string
 	// Origin optionally names the geographic region the request arrives
 	// from — the geo tier's routing key. Empty means the topology's
 	// first (home) region; single-region deployments can ignore it.
@@ -80,6 +86,17 @@ func (r Request) SubmittedAt() time.Duration {
 
 // TotalTokens returns input+output, the unit of combined throughput.
 func (r Request) TotalTokens() int { return r.InputTokens + r.OutputTokens }
+
+// CacheKey returns the request's prefix-cache identity: the session key
+// when present (a multi-turn session's turns share their history
+// prefix), else the PromptKey (verbatim repeats share everything), else
+// empty — no reusable prefix.
+func (r Request) CacheKey() string {
+	if r.Session != "" {
+		return r.Session
+	}
+	return r.PromptKey
+}
 
 // Urgent reports whether, at time now, the request's TTFT deadline is
 // at risk but still winnable: more than half the TTFT budget has
@@ -173,6 +190,26 @@ func (t *Trace) StampOrigin(class, origin string) *Trace {
 	for i := range t.Requests {
 		if class == "" || t.Requests[i].Class == class {
 			t.Requests[i].Origin = origin
+		}
+	}
+	return t
+}
+
+// StampPromptKeys marks a deterministic fraction of requests as verbatim
+// repeats drawn from a pool of hot prompts, returning the trace for
+// chaining — the shared-cache sibling of Stamp. Each marked request gets
+// PromptKey "hot-<i>" for a pool index i, so roughly repeatFrac of the
+// trace shares keys with other requests (the first occurrence of each
+// key is still a cold miss). Fractions <= 0 or pools <= 0 leave the
+// trace untouched.
+func (t *Trace) StampPromptKeys(seed uint64, repeatFrac float64, pool int) *Trace {
+	if repeatFrac <= 0 || pool <= 0 {
+		return t
+	}
+	rng := tensor.NewRNG(seed ^ 0x70726f6d7074) // "prompt"
+	for i := range t.Requests {
+		if rng.Float64() < repeatFrac {
+			t.Requests[i].PromptKey = fmt.Sprintf("hot-%d", rng.Intn(pool))
 		}
 	}
 	return t
