@@ -13,9 +13,9 @@ FUZZTIME ?= 10s
 # margin absorbs counting noise, not deleted tests).
 COVERFLOOR ?= 86.0
 
-.PHONY: ci fmt vet test race bench bench-json perfbench build docs fuzz fuzz-short cover
+.PHONY: ci fmt vet test race bench bench-json trace-smoke perfbench build docs fuzz fuzz-short cover
 
-ci: fmt vet docs race bench bench-json fuzz-short cover
+ci: fmt vet docs race bench bench-json trace-smoke fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,18 @@ bench-json:
 		echo "bench-json: simctl run -all wrote no BENCH_*.json files"; exit 1; \
 	fi
 	$(GO) run ./cmd/jsonlint BENCH_*.json
+
+# Observability smoke: run the traced failure-recovery cell (cut to the
+# crash-restart plan), export the Chrome trace and the series CSV, and
+# validate the trace's event grammar with jsonlint (well-formed events,
+# per-track timestamp order, matched span pairs). This is the CI proof
+# that `simctl run <name> -trace out.json` yields a Perfetto-loadable
+# file showing the crash/ejection/retry/readmission story.
+trace-smoke:
+	$(GO) run ./cmd/simctl run failure-recovery -quick -p plans=crash-restart \
+		-trace .trace-smoke.json -series .trace-smoke.csv > /dev/null
+	$(GO) run ./cmd/jsonlint .trace-smoke.json
+	@rm -f .trace-smoke.json .trace-smoke.csv
 
 # Simulator-performance benchmarks (engine hot path, fleet stepping,
 # sweep fan-out) with allocation stats, repeated PERFCOUNT times so the

@@ -44,6 +44,68 @@ func TestLintDistinguishesCellBoundaries(t *testing.T) {
 	}
 }
 
+func TestLintAcceptsWellFormedTrace(t *testing.T) {
+	errs := lintBody(t, `{"traceEvents":[
+		{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"cluster"}},
+		{"name":"queue","cat":"request","ph":"b","id":"7","ts":0,"pid":1,"tid":2},
+		{"name":"queue","cat":"request","ph":"e","id":"7","ts":5,"pid":1,"tid":2},
+		{"name":"prefill","cat":"request","ph":"b","id":"7","ts":5,"pid":1,"tid":2},
+		{"name":"crash","ph":"i","s":"t","ts":7,"pid":1,"tid":2},
+		{"name":"prefill","cat":"request","ph":"e","id":"7","ts":9,"pid":1,"tid":2},
+		{"name":"load","ph":"B","ts":1,"pid":1,"tid":3},
+		{"name":"load","ph":"E","ts":4,"pid":1,"tid":3}
+	],"displayTimeUnit":"ms"}`)
+	if len(errs) != 0 {
+		t.Fatalf("well-formed trace rejected: %v", errs)
+	}
+}
+
+func TestLintRejectsMalformedTraces(t *testing.T) {
+	cases := map[string]string{
+		"events not a list": `{"traceEvents":{}}`,
+		"empty events":      `{"traceEvents":[]}`,
+		"missing ph":        `{"traceEvents":[{"name":"x","ts":0,"pid":1,"tid":1}]}`,
+		"unknown ph":        `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]}`,
+		"missing ts":        `{"traceEvents":[{"name":"x","ph":"i","pid":1,"tid":1}]}`,
+		"backwards ts": `{"traceEvents":[
+			{"name":"a","ph":"i","ts":5,"pid":1,"tid":1},
+			{"name":"b","ph":"i","ts":3,"pid":1,"tid":1}]}`,
+		"unmatched E": `{"traceEvents":[{"name":"x","ph":"E","ts":0,"pid":1,"tid":1}]}`,
+		"misnested B/E": `{"traceEvents":[
+			{"name":"outer","ph":"B","ts":0,"pid":1,"tid":1},
+			{"name":"inner","ph":"B","ts":1,"pid":1,"tid":1},
+			{"name":"outer","ph":"E","ts":2,"pid":1,"tid":1},
+			{"name":"inner","ph":"E","ts":3,"pid":1,"tid":1}]}`,
+		"unclosed B": `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":1}]}`,
+		"async e without b": `{"traceEvents":[
+			{"name":"q","cat":"request","ph":"e","id":"1","ts":0,"pid":1,"tid":1}]}`,
+		"async b never closed": `{"traceEvents":[
+			{"name":"q","cat":"request","ph":"b","id":"1","ts":0,"pid":1,"tid":1}]}`,
+		"async b lacks cat/id": `{"traceEvents":[{"name":"q","ph":"b","ts":0,"pid":1,"tid":1}]}`,
+	}
+	for name, body := range cases {
+		if errs := lintBody(t, body); len(errs) == 0 {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLintTraceTracksAreIndependent(t *testing.T) {
+	// Interleaved timestamps across different (pid, tid) tracks are fine;
+	// monotonicity is per track. Distinct async ids balance separately.
+	errs := lintBody(t, `{"traceEvents":[
+		{"name":"a","ph":"i","ts":10,"pid":1,"tid":1},
+		{"name":"b","ph":"i","ts":2,"pid":1,"tid":2},
+		{"name":"q","cat":"request","ph":"b","id":"1","ts":3,"pid":1,"tid":2},
+		{"name":"q","cat":"request","ph":"b","id":"2","ts":11,"pid":1,"tid":1},
+		{"name":"q","cat":"request","ph":"e","id":"2","ts":12,"pid":1,"tid":1},
+		{"name":"q","cat":"request","ph":"e","id":"1","ts":4,"pid":1,"tid":2}
+	]}`)
+	if len(errs) != 0 {
+		t.Fatalf("independent tracks rejected: %v", errs)
+	}
+}
+
 func TestLintRejectsMalformedFiles(t *testing.T) {
 	cases := map[string]string{
 		"not json":    `{`,

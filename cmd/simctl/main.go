@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -64,6 +65,10 @@ run options:
   -json          write each scenario's sections as BENCH_<scenario>.json
   -out dir       directory for the BENCH files (default .)
   -p key=value   set a declared scenario param (repeatable; simctl list shows them)
+  -trace file    write the run's request spans as Chrome trace-event JSON
+                 (load in Perfetto / chrome://tracing; single scenario only)
+  -series file   write the run's controller-tick time series (.csv, or .json
+                 by extension; single scenario only)
 `)
 }
 
@@ -120,6 +125,8 @@ func runRun(args []string) {
 	workers := fs.Int("workers", 0, "worker pools (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := fs.Bool("json", false, "write each scenario's sections as BENCH_<scenario>.json")
 	outDir := fs.String("out", ".", "directory for the BENCH files")
+	tracePath := fs.String("trace", "", "write request spans as Chrome trace-event JSON")
+	seriesPath := fs.String("series", "", "write controller-tick time series (.csv or .json)")
 	pvals := params{}
 	fs.Var(pvals, "p", "scenario param key=value (repeatable)")
 
@@ -186,6 +193,14 @@ func runRun(args []string) {
 	env.Quick = *quick
 	env.Seed = *seed
 	env.Workers = *workers
+	if *tracePath != "" || *seriesPath != "" {
+		// One observer collects one scenario's runs; a multi-scenario (or
+		// -all) invocation would interleave unrelated timelines.
+		if *all || len(scens) != 1 {
+			log.Fatal("simctl run: -trace/-series need exactly one scenario")
+		}
+		env.Obs = obs.NewObserver()
+	}
 
 	for i, s := range scens {
 		fmt.Printf("=== %s: %s ===\n", s.Name, s.Summary)
@@ -208,4 +223,29 @@ func runRun(args []string) {
 			fmt.Println("wrote", path)
 		}
 	}
+	if env.Obs != nil {
+		if env.Obs.Empty() {
+			log.Fatalf("simctl run: %s produced no trace — instrumented scenarios: %s",
+				scens[0].Name, strings.Join(tracedScenarios, ", "))
+		}
+		if *tracePath != "" {
+			if err := env.Obs.ExportChromeTrace(*tracePath); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", *tracePath)
+		}
+		if *seriesPath != "" {
+			if err := env.Obs.ExportSeries(*seriesPath); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", *seriesPath)
+		}
+	}
+}
+
+// tracedScenarios names the scenarios that wire Env.Obs into a
+// simulator run (each documents which cell of its sweep is the traced
+// one). Other scenarios run untraced and -trace on them is an error.
+var tracedScenarios = []string{
+	"failure-recovery", "fleet-timeline", "outage-spillover", "trace-overhead",
 }

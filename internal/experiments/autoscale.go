@@ -94,6 +94,9 @@ func Autoscaling(e Env, coldStarts []time.Duration) (*stats.Table, error) {
 	pool := NewPool(e.Workers)
 	cellEnv := e
 	cellEnv.Workers = pool.CellWorkers(e.Workers)
+	// One observer cannot span concurrent sweep cells; the timeline
+	// scenario (fleet-timeline) is the traced window into this sweep.
+	cellEnv.Obs = nil
 	err = pool.Run(len(cells), func(i int) error {
 		c := &cells[i]
 		res, err := runAutoscalePolicy(cellEnv, cm, tr, c.policy, c.cold, c.initial)
@@ -148,6 +151,7 @@ func runAutoscalePolicy(e Env, cm *perf.CostModel, tr *workload.Trace, policy st
 		Min:       autoscaleInitial,
 		Max:       autoscaleMax,
 	}
+	cl.Obs = e.Obs
 	res, err := cl.Run(tr)
 	if err != nil {
 		return nil, fmt.Errorf("%s/cold=%v: %w", policy, cold, err)

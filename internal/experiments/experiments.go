@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -37,6 +38,11 @@ type Env struct {
 	// difference of. Mirrors scenario.Env (the registry's copy of these
 	// knobs); the two convert directly.
 	Workers int
+	// Obs, when set, collects request lifecycle spans and controller
+	// time series from the scenario's simulator runs (see internal/obs
+	// and each scenario for which runs it instruments). nil keeps every
+	// run on the untraced fast path.
+	Obs *obs.Observer
 }
 
 // DefaultEnv is the paper's environment: one p5en node (8xH200).
@@ -213,9 +219,12 @@ func Fig14(e Env, m model.Config, rates []float64) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab := stats.NewTable("System", "Rate req/s", "p50 Completion ms", "Mean Completion ms", "p50 TTFT ms")
+	tab := stats.NewTable("System", "Rate req/s", "p50 Completion ms", "Mean Completion ms",
+		"p50 TTFT ms", "p95 TTFT ms", "p99 TTFT ms")
 	for i, res := range results {
-		tab.AddRow(axes[i].name, axes[i].rate, res.Completion.Median(), res.Completion.Mean(), res.TTFT.Median())
+		ttft := res.TTFT.Percentiles(50, 95, 99)
+		tab.AddRow(axes[i].name, axes[i].rate, res.Completion.Median(), res.Completion.Mean(),
+			ttft[0], ttft[1], ttft[2])
 	}
 	return tab, nil
 }

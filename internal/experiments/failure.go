@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -86,6 +87,17 @@ func FailureRecovery(e Env, planNames []string, window time.Duration) (*stats.Ta
 			cells = append(cells, cell{policy: policy, plan: plan})
 		}
 	}
+	// With tracing requested (e.Obs set), exactly one sweep cell is
+	// instrumented: the first crash-restart cell, whose trace tells the
+	// full crash → ejection → retry → readmission story on the victim
+	// replica's track. One observer must not span concurrent cells.
+	traced := 0
+	for i, c := range cells {
+		if c.plan == "crash-restart" {
+			traced = i
+			break
+		}
+	}
 	pool := NewPool(e.Workers)
 	workers := pool.CellWorkers(e.Workers)
 	err = pool.Run(len(cells), func(i int) error {
@@ -94,7 +106,11 @@ func FailureRecovery(e Env, planNames []string, window time.Duration) (*stats.Ta
 		if err != nil {
 			return err
 		}
-		res, err := runFailurePolicy(cm, tr, c.policy, plan, workers)
+		var o *obs.Observer
+		if i == traced {
+			o = e.Obs
+		}
+		res, err := runFailurePolicy(cm, tr, c.policy, plan, workers, o)
 		if err != nil {
 			return err
 		}
@@ -123,7 +139,7 @@ func FailureRecovery(e Env, planNames []string, window time.Duration) (*stats.Ta
 // replicas under the policy's autoscaler (bounded like the autoscaling
 // sweep), with the fault plan injected and live-least-loaded routing so
 // re-enqueued work lands on actual queue depth.
-func runFailurePolicy(cm *perf.CostModel, tr *workload.Trace, policy string, plan *workload.FaultPlan, workers int) (*serve.Result, error) {
+func runFailurePolicy(cm *perf.CostModel, tr *workload.Trace, policy string, plan *workload.FaultPlan, workers int, o *obs.Observer) (*serve.Result, error) {
 	scaler, err := serve.NewAutoscaler(policy)
 	if err != nil {
 		return nil, err
@@ -140,6 +156,7 @@ func runFailurePolicy(cm *perf.CostModel, tr *workload.Trace, policy string, pla
 		Max:       autoscaleMax,
 	}
 	cl.Faults = plan
+	cl.Obs = o
 	res, err := cl.Run(tr)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", policy, "faults", err)
@@ -199,6 +216,12 @@ func OutageSpillover(e Env, outage time.Duration) (*stats.Table, error) {
 		}
 		if c.dark {
 			g.Faults = plan
+		}
+		if c.dark && c.policy == "spill-over" {
+			// The traced cell under -trace: the outage story (regional
+			// crashes, refugee hops, readmission) on the policy built to
+			// spill.
+			g.Obs = e.Obs
 		}
 		res, err := g.Run(tr)
 		if err != nil {

@@ -398,6 +398,13 @@ func init() {
 			return EngineHotPath(e)
 		}),
 	})
+	scenario.Register(scenario.Scenario{
+		Name:    "trace-overhead",
+		Summary: "Observability cost: one crash-restart cell, tracing disabled vs enabled",
+		Run: one("trace-overhead", func(e Env, _ scenario.Values) (*stats.Table, error) {
+			return TraceOverhead(e)
+		}),
+	})
 
 	// --- Bench-trajectory suites (the historical binaries' layouts) ---
 	scenario.Register(scenario.Scenario{

@@ -51,6 +51,7 @@ var goldenScenarios = []string{
 	"table1",
 	"table2",
 	"table3",
+	"trace-overhead",
 }
 
 func TestScenarioGoldenList(t *testing.T) {

@@ -1,0 +1,189 @@
+// Chrome trace-event export: the Observer's streams rendered as the
+// JSON object format chrome://tracing and Perfetto load. One process
+// per region, one thread per track (replicas plus the balancer), each
+// request's queue/prefill/decode phases as async b/e span pairs keyed
+// by request ID on the track where the phase ran, and fleet lifecycle
+// moments (crash, eject, readmit, scale, preempt, retry, ...) as
+// thread-scoped instant events on the affected track.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// chromeEvent is one trace-event JSON record. Field order here fixes
+// the exported byte layout.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"` // async span key (request ID)
+	Scope string         `json:"s,omitempty"`  // instant scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// reqCat is the async category grouping one request's phase spans.
+const reqCat = "request"
+
+// usec converts a sim time to trace microseconds.
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// phase names for the request span state machine.
+const (
+	phaseQueue   = "queue"
+	phasePrefill = "prefill"
+	phaseDecode  = "decode"
+)
+
+// WriteChromeTrace renders the collected run as Chrome trace-event
+// JSON. Output is deterministic: tracks are numbered in registration
+// order and events are emitted in the total order of Events.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	evs := o.Events()
+
+	// pid per region and tid per track, in stream registration order.
+	pidOf := map[string]int{}
+	type trackKey struct{ region, track string }
+	tidOf := map[trackKey]int{}
+	var out []chromeEvent
+	for _, s := range o.Streams() {
+		pid, ok := pidOf[s.Region]
+		if !ok {
+			pid = len(pidOf) + 1
+			pidOf[s.Region] = pid
+			name := s.Region
+			if name == "" {
+				name = "cluster"
+			}
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": name},
+			})
+		}
+		tid := s.order + 1
+		tidOf[trackKey{s.Region, s.Track}] = tid
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": s.Track},
+		})
+		out = append(out, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"sort_index": s.order},
+		})
+	}
+
+	// Request phase state machine over the time-sorted event list:
+	// every open phase is an async "b" and every transition closes it
+	// with a matching "e" before opening the next, so per-(cat,id)
+	// depth never exceeds one and always returns to zero.
+	type openPhase struct {
+		name     string
+		pid, tid int
+	}
+	open := map[int]openPhase{}
+	closeSpan := func(req int, ts float64) {
+		p, ok := open[req]
+		if !ok {
+			return
+		}
+		delete(open, req)
+		out = append(out, chromeEvent{
+			Name: p.name, Cat: reqCat, Ph: "e", Ts: ts,
+			Pid: p.pid, Tid: p.tid, ID: strconv.Itoa(req),
+		})
+	}
+	openSpan := func(req int, name string, ts float64, pid, tid int) {
+		closeSpan(req, ts)
+		open[req] = openPhase{name: name, pid: pid, tid: tid}
+		out = append(out, chromeEvent{
+			Name: name, Cat: reqCat, Ph: "b", Ts: ts,
+			Pid: pid, Tid: tid, ID: strconv.Itoa(req),
+		})
+	}
+	instant := func(ev StreamEvent, ts float64, pid, tid int) {
+		args := map[string]any{}
+		if ev.Req != NoRequest {
+			args["req"] = ev.Req
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		out = append(out, chromeEvent{
+			Name: ev.Kind.String(), Ph: "i", Ts: ts,
+			Pid: pid, Tid: tid, Scope: "t", Args: args,
+		})
+	}
+
+	for _, ev := range evs {
+		pid := pidOf[ev.Region]
+		tid := tidOf[trackKey{ev.Region, ev.Track}]
+		ts := usec(ev.At)
+		switch ev.Kind {
+		case EvEnqueue:
+			openSpan(ev.Req, phaseQueue, ts, pid, tid)
+		case EvAdmit:
+			openSpan(ev.Req, phasePrefill, ts, pid, tid)
+		case EvPrefillDone:
+			openSpan(ev.Req, phaseDecode, ts, pid, tid)
+		case EvPreempt:
+			instant(ev, ts, pid, tid)
+			openSpan(ev.Req, phaseQueue, ts, pid, tid)
+		case EvFinish:
+			closeSpan(ev.Req, ts)
+		case EvReject, EvDrop, EvLost:
+			closeSpan(ev.Req, ts)
+			instant(ev, ts, pid, tid)
+		default:
+			// Route, shared-hit, retry, and all fleet lifecycle kinds
+			// render as instants on their track.
+			instant(ev, ts, pid, tid)
+		}
+	}
+	// A request still open at end of trace (none in practice: every
+	// admitted request reaches a terminal) would leave an unmatched
+	// "b"; close it at the trace's final timestamp, in request-ID
+	// order, to keep the file well-formed and the bytes deterministic.
+	if len(open) > 0 {
+		endTs := usec(evs[len(evs)-1].At)
+		stragglers := make([]int, 0, len(open))
+		for req := range open {
+			stragglers = append(stragglers, req)
+		}
+		sort.Ints(stragglers)
+		for _, req := range stragglers {
+			closeSpan(req, endTs)
+		}
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ExportChromeTrace writes the Chrome trace to path.
+func (o *Observer) ExportChromeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	s := o.Stream("r", "t")
+	if s != nil {
+		t.Fatal("nil observer returned a non-nil stream")
+	}
+	s.Event(time.Second, EvFinish, 1, "") // must not panic
+	o.Sample(Sample{At: 1})
+	if !o.Empty() || o.EventCount() != 0 || o.Streams() != nil || o.Samples() != nil || len(o.Events()) != 0 {
+		t.Fatal("nil observer reports content")
+	}
+}
+
+func TestEventsTotalOrder(t *testing.T) {
+	o := NewObserver()
+	a := o.Stream("", "a")
+	b := o.Stream("", "b")
+	// Same timestamp across streams breaks ties by registration order;
+	// within a stream, by append order.
+	b.Event(2*time.Second, EvFinish, 2, "")
+	a.Event(2*time.Second, EvEnqueue, 3, "")
+	a.Event(1*time.Second, EvEnqueue, 1, "")
+	a.Event(1*time.Second, EvAdmit, 1, "")
+	got := o.Events()
+	want := []struct {
+		track string
+		kind  Kind
+	}{
+		{"a", EvEnqueue}, {"a", EvAdmit}, {"a", EvEnqueue}, {"b", EvFinish},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Track != w.track || got[i].Kind != w.kind {
+			t.Fatalf("event %d is %s/%v, want %s/%v", i, got[i].Track, got[i].Kind, w.track, w.kind)
+		}
+	}
+}
+
+func TestTerminalKinds(t *testing.T) {
+	for _, k := range []Kind{EvFinish, EvReject, EvDrop, EvSharedHit} {
+		if !k.Terminal() {
+			t.Errorf("%v is not terminal", k)
+		}
+	}
+	for _, k := range []Kind{EvEnqueue, EvAdmit, EvPrefillDone, EvPreempt, EvRoute,
+		EvRetry, EvLost, EvCrash, EvRestart, EvEject, EvReadmit, EvScaleUp, EvScaleDown} {
+		if k.Terminal() {
+			t.Errorf("%v is terminal", k)
+		}
+	}
+}
+
+// chromeDoc decodes a written trace for structural assertions.
+type chromeDoc struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+	Unit        string           `json:"displayTimeUnit"`
+}
+
+func writeTrace(t *testing.T, o *Observer) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := o.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestChromeTraceClosesStragglers(t *testing.T) {
+	o := NewObserver()
+	s := o.Stream("", "r0")
+	s.Event(0, EvEnqueue, 1, "")
+	s.Event(time.Second, EvAdmit, 1, "")
+	s.Event(2*time.Second, EvFinish, 2, "") // unrelated terminal sets the final ts
+	doc := writeTrace(t, o)
+	opens, closes := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "b":
+			opens++
+		case "e":
+			closes++
+		}
+	}
+	if opens != closes {
+		t.Fatalf("%d async opens vs %d closes — request 1's open prefill span leaked", opens, closes)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit %q, want ms", doc.Unit)
+	}
+}
+
+func TestSeriesJSONEmptyIsList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewObserver().WriteSeriesJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty series JSON = %q, want []", got)
+	}
+}
+
+func TestExportSeriesDispatchesOnExtension(t *testing.T) {
+	o := NewObserver()
+	o.Sample(Sample{At: 5 * time.Second, Track: "f", Desired: 2, Active: 2})
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "s.JSON") // case-insensitive match
+	csvPath := filepath.Join(dir, "s.csv")
+	if err := o.ExportSeries(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.ExportSeries(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	jdata, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Sample
+	if err := json.Unmarshal(jdata, &rows); err != nil {
+		t.Fatalf("JSON export does not parse: %v", err)
+	}
+	cdata, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(cdata)), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "t_ms,track,") {
+		t.Fatalf("CSV export malformed: %q", string(cdata))
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/stats"
 )
@@ -38,6 +39,11 @@ type Env struct {
 	// serial path. Results are byte-identical at every setting — sweep
 	// cells are independent and rows assemble in submission order.
 	Workers int
+	// Obs, when set, collects request lifecycle spans and controller
+	// time series from the scenario's simulator runs (see internal/obs
+	// and each scenario for which runs it instruments). nil keeps every
+	// run on the untraced fast path.
+	Obs *obs.Observer
 }
 
 // Kind is the declared type of a Param. Lists are comma-separated on

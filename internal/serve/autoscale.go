@@ -2,9 +2,11 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/conc"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -387,6 +389,32 @@ type fleetState struct {
 	ejections    int
 	readmissions int
 	workLost     int
+
+	// Observability (nil/inert unless the run sets an Observer). bal is
+	// the fleet's balancer track; obsRegion labels replica tracks (the
+	// region name on the geo tier, "" otherwise); clsReq/clsMet roll up
+	// per-class window attainment between controller ticks, consumed by
+	// obsSample.
+	obs       *obs.Observer
+	bal       *obs.Stream
+	obsRegion string
+	clsReq    map[string]int
+	clsMet    map[string]int
+}
+
+// observe wires the fleet to an observer: registers the balancer
+// track and the class-attainment scratch. Must run before the initial
+// spawns so replica tracks register in spawn order after the balancer.
+// Nil-safe: a nil observer leaves the fleet on the untraced path.
+func (f *fleetState) observe(o *obs.Observer, region, balancer string) {
+	if o == nil {
+		return
+	}
+	f.obs = o
+	f.obsRegion = region
+	f.bal = o.Stream(region, balancer)
+	f.clsReq = map[string]int{}
+	f.clsMet = map[string]int{}
 }
 
 func (f *fleetState) spawn(cfg Config, at, cold time.Duration) error {
@@ -398,7 +426,10 @@ func (f *fleetState) spawn(cfg Config, at, cold time.Duration) error {
 	if err != nil {
 		return err
 	}
-	e.recordEvents = f.recordEvents
+	e.setRecordIters(f.recordEvents)
+	if f.obs != nil {
+		e.attachStream(f.obs.Stream(f.obsRegion, cfg.Name))
+	}
 	// The engine's clock starts at readiness so a spawned replica cannot
 	// serve a token before its warmup elapses.
 	e.now = at + cold
@@ -528,6 +559,7 @@ func (f *fleetState) route(router Router, r workload.Request, now time.Duration)
 		return fmt.Errorf("serve: router %s returned replica %d of %d", router.Name(), i, len(targets))
 	}
 	rep := targets[i]
+	f.bal.Event(now, obs.EvRoute, r.ID, rep.engine.cfg.Name)
 	rep.engine.arrivals = append(rep.engine.arrivals, r)
 	rep.assignedTokens += r.TotalTokens()
 	rep.assignedReqs++
@@ -552,8 +584,15 @@ func (f *fleetState) view(now time.Duration) FleetView {
 			if s.req.SLO != nil {
 				v.WindowSLORequests++
 				m := RequestMetrics{TTFT: s.firstTok - s.req.Arrival, SLO: s.req.SLO}
-				if m.TTFTMet() {
+				met := m.TTFTMet()
+				if met {
 					v.WindowTTFTMet++
+				}
+				if f.obs != nil {
+					f.clsReq[s.req.Class]++
+					if met {
+						f.clsMet[s.req.Class]++
+					}
 				}
 			}
 		}
@@ -562,8 +601,15 @@ func (f *fleetState) view(now time.Duration) FleetView {
 			if s.req.SLO != nil {
 				v.WindowSLORequests++
 				m := RequestMetrics{Rejected: true, SLO: s.req.SLO}
-				if m.TTFTMet() {
+				met := m.TTFTMet()
+				if met {
 					v.WindowTTFTMet++
+				}
+				if f.obs != nil {
+					f.clsReq[s.req.Class]++
+					if met {
+						f.clsMet[s.req.Class]++
+					}
 				}
 			}
 		}
@@ -631,6 +677,8 @@ func (f *fleetState) evaluate(now time.Duration) error {
 				return err
 			}
 			f.scaleUps++
+			f.bal.Event(now, obs.EvScaleUp, obs.NoRequest,
+				f.replicas[len(f.replicas)-1].engine.cfg.Name)
 		}
 	case desired < cur:
 		f.shrink(cur-desired, now)
@@ -649,8 +697,67 @@ func (f *fleetState) evaluate(now time.Duration) error {
 		}
 	}
 	f.samples = append(f.samples, s)
+	if f.obs != nil {
+		f.obsSample(now, desired, v)
+	}
 	f.arrivedInWin = 0
 	return nil
+}
+
+// obsSample appends one controller-tick snapshot to the observer: the
+// post-decision fleet composition plus the live gauges (KV occupancy,
+// measured prefix-cache hit rate) and the per-class attainment rolled
+// up since the previous tick. Runs on the serial controller path while
+// every engine is parked at the tick's barrier, so reading engine
+// state is race-free and the sample order is worker-count independent.
+func (f *fleetState) obsSample(now time.Duration, desired int, v FleetView) {
+	smp := obs.Sample{
+		At: now, Track: f.name, Desired: desired,
+		QueuedRequests: v.QueuedRequests, RunningRequests: v.RunningRequests,
+	}
+	var capTok, usedTok, hits, misses int
+	for _, rep := range f.replicas {
+		switch rep.state {
+		case replicaActive:
+			smp.Active++
+		case replicaWarming:
+			smp.Warming++
+		case replicaDraining:
+			smp.Draining++
+		case replicaRetired:
+			continue
+		}
+		if rep.down || rep.ejected {
+			smp.Down++
+		}
+		if rep.ejected {
+			smp.Ejected++
+		}
+		e := rep.engine
+		capTok += rep.kvCapacity
+		usedTok += rep.kvCapacity - e.alloc.FreeTokens()
+		hits += e.cacheHits
+		misses += e.cacheMisses
+	}
+	if capTok > 0 {
+		smp.KVUtil = float64(usedTok) / float64(capTok)
+	}
+	if hits+misses > 0 {
+		smp.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	classes := make([]string, 0, len(f.clsReq))
+	for c := range f.clsReq {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		smp.Classes = append(smp.Classes, obs.ClassAttainment{
+			Class: c, Requests: f.clsReq[c], TTFTMet: f.clsMet[c],
+		})
+	}
+	clear(f.clsReq)
+	clear(f.clsMet)
+	f.obs.Sample(smp)
 }
 
 // shrink retires n replicas: warming ones are cancelled newest-first
@@ -665,6 +772,7 @@ func (f *fleetState) shrink(n int, now time.Duration) {
 			rep.state = replicaRetired
 			rep.drainAt, rep.retireAt, rep.drained = now, now, true
 			f.scaleDowns++
+			f.bal.Event(now, obs.EvScaleDown, obs.NoRequest, rep.engine.cfg.Name)
 			n--
 		}
 	}
@@ -688,6 +796,7 @@ func (f *fleetState) shrink(n int, now time.Duration) {
 		}
 		victim.drainAt, victim.drained = now, true
 		f.scaleDowns++
+		f.bal.Event(now, obs.EvScaleDown, obs.NoRequest, victim.engine.cfg.Name)
 		if victim.engine.finished() {
 			victim.state = replicaRetired
 			victim.retireAt = now
@@ -776,6 +885,7 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		ac: ac, name: c.Name, recordEvents: c.RecordEvents,
 		workers: conc.Workers(c.Parallelism),
 	}
+	fleet.observe(c.Obs, "", "balancer")
 	var fc *faultRun
 	if c.Faults != nil || c.Health != nil {
 		// Wire the fault controller before the initial spawns so degrade
@@ -812,7 +922,7 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 			}
 			nextEval += ac.Interval
 			if fc != nil {
-				fc.reapStranded()
+				fc.reapStranded(at)
 			}
 		} else if err := fc.fire(at, kind); err != nil {
 			return err
@@ -843,6 +953,7 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		// The shared tier answers fresh arrivals only; crash retries
 		// re-enter routing through fc without consulting it.
 		if shared.intercept(r) {
+			fleet.bal.Event(r.Arrival, obs.EvSharedHit, r.ID, "")
 			continue
 		}
 		if fc != nil {

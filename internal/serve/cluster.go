@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/conc"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/workload"
 )
@@ -16,7 +17,16 @@ type Cluster struct {
 	Name    string
 	Configs []Config
 	// RecordEvents enables per-iteration event capture (time series).
+	//
+	// Deprecated: this predates the obs layer and survives as a thin
+	// compatibility shim over the engine tap (Result.Events is
+	// unchanged). New consumers should set Obs and use its samples.
 	RecordEvents bool
+	// Obs, when set, collects request lifecycle spans and controller
+	// time series for the run (see internal/obs). nil keeps the run on
+	// the untraced fast path, byte-identical to builds without the
+	// hook.
+	Obs *obs.Observer
 	// Lockstep makes all replicas step together, each iteration taking
 	// the slowest replica's time — vLLM's data-parallel engine behaviour
 	// (replicas synchronize every step; idle ranks wait). Independent
@@ -97,18 +107,22 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 	if err := c.SharedCache.validate(); err != nil {
 		return nil, err
 	}
+	// Track registration order: balancer first, then replicas in index
+	// order (all serial, so exports are worker-count independent).
+	bal := c.Obs.Stream("", "balancer")
 	engines := make([]*Engine, len(c.Configs))
 	for i, cfg := range c.Configs {
 		e, err := NewEngine(cfg)
 		if err != nil {
 			return nil, err
 		}
-		e.recordEvents = c.RecordEvents
+		e.setRecordIters(c.RecordEvents)
+		e.attachStream(c.Obs.Stream("", cfg.Name))
 		engines[i] = e
 	}
 
 	shared := newSharedTier(c.SharedCache)
-	assigned, err := routeTrace(c.Router, t, c.Configs, engines, shared)
+	assigned, err := routeTrace(c.Router, t, c.Configs, engines, shared, bal)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +153,7 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 // view of outstanding work after each placement. A non-nil shared tier
 // intercepts repeated prompts before they reach the router — shared-hit
 // requests are answered at the balancer and appear in no share.
-func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engine, shared *sharedTier) ([][]workload.Request, error) {
+func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engine, shared *sharedTier, bal *obs.Stream) ([][]workload.Request, error) {
 	if router == nil {
 		router = NewLeastOutstandingRouter()
 	}
@@ -158,12 +172,14 @@ func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engi
 	assigned := make([][]workload.Request, len(engines))
 	for _, r := range t.Requests {
 		if shared.intercept(r) {
+			bal.Event(r.Arrival, obs.EvSharedHit, r.ID, "")
 			continue
 		}
 		i := router.Route(r, views)
 		if i < 0 || i >= len(engines) {
 			return nil, fmt.Errorf("serve: router %s returned replica %d of %d", router.Name(), i, len(engines))
 		}
+		bal.Event(r.Arrival, obs.EvRoute, r.ID, cfgs[i].Name)
 		assigned[i] = append(assigned[i], r)
 		views[i].OutstandingTokens += r.TotalTokens()
 		views[i].OutstandingRequests++

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -252,6 +254,146 @@ func TestCachedGeoParallelMatchesSerial(t *testing.T) {
 	})
 	if serial != parallel {
 		t.Fatal("parallel cached Geo.Run diverged from the serial path")
+	}
+}
+
+// encodeObs renders an Observer's exported artifacts — the Chrome
+// trace JSON and the series CSV, the exact bytes simctl -trace/-series
+// would write — so the determinism contract extends to observability
+// output, not just Results.
+func encodeObs(t *testing.T, o *obs.Observer) string {
+	t.Helper()
+	var trace, series bytes.Buffer
+	if err := o.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteSeriesCSV(&series); err != nil {
+		t.Fatal(err)
+	}
+	return trace.String() + "\x1f" + series.String()
+}
+
+// runBothTraced is runBoth with an Observer attached to each run:
+// serial and parallel encodings cover the Result plus the exported
+// trace and series bytes.
+func runBothTraced(t *testing.T, run func(p int, o *obs.Observer) (*Result, error)) (serial, parallel string) {
+	t.Helper()
+	so := obs.NewObserver()
+	sres, err := run(1, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := obs.NewObserver()
+	pres, err := run(4, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.Empty() || po.Empty() {
+		t.Fatal("traced runs produced no observability output")
+	}
+	return encodeResult(t, sres) + encodeObs(t, so),
+		encodeResult(t, pres) + encodeObs(t, po)
+}
+
+// TestTracedClusterParallelMatchesSerial extends the plain-fleet
+// determinism contract to the trace and series exports: spans from
+// concurrently stepped replicas (plus shared-cache intercepts on the
+// balancer track) must serialize byte-identically at every pool width.
+func TestTracedClusterParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := cachedDeterminismTrace(t, 7)
+	serial, parallel := runBothTraced(t, func(p int, o *obs.Observer) (*Result, error) {
+		cl := DPCluster("det-trace", Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}, 4)
+		cl.Lockstep = false
+		cl.Parallelism = p
+		cl.SharedCache = &SharedCacheConfig{Latency: 20 * time.Millisecond}
+		cl.Obs = o
+		return cl.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel traced Cluster.Run diverged from the serial path")
+	}
+}
+
+// TestTracedAutoscaleParallelMatchesSerial pins trace/series bytes on
+// the hardest cluster path: autoscaling plus a crash-restart and a
+// crash-dead fault, so the encodings cover scale events, the crash,
+// lost-work and retry hops, ejection, and readmission.
+func TestTracedAutoscaleParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := determinismTrace(t, 11)
+	plan := &workload.FaultPlan{Crashes: []workload.ReplicaCrash{
+		{Replica: 1, At: 15 * time.Second, Restart: 25 * time.Second},
+		{Replica: 0, At: 20 * time.Second},
+	}}
+	serial, parallel := runBothTraced(t, func(p int, o *obs.Observer) (*Result, error) {
+		cl := DPCluster("det-trace-auto", Config{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}}, 2)
+		cl.Lockstep = false
+		cl.Parallelism = p
+		cl.Router = NewLiveLeastLoadedRouter()
+		cl.Autoscale = &AutoscaleConfig{
+			Scaler:    NewQueueDepthAutoscaler(),
+			Interval:  5 * time.Second,
+			ColdStart: 5 * time.Second,
+			Min:       2,
+			Max:       6,
+		}
+		cl.Faults = plan
+		cl.Obs = o
+		return cl.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel traced autoscaled run diverged from the serial path")
+	}
+}
+
+// TestTracedGeoParallelMatchesSerial pins trace/series bytes on the geo
+// tier under a home-region outage: per-region processes, the geo
+// balancer track, and cross-region refugee hops must all export
+// byte-identically between serial and pooled region stepping.
+func TestTracedGeoParallelMatchesSerial(t *testing.T) {
+	cm := llamaCM(t)
+	tr := determinismTrace(t, 13)
+	for i := range tr.Requests {
+		if i%3 == 0 {
+			tr.Requests[i].Origin = "east"
+		} else {
+			tr.Requests[i].Origin = "west"
+		}
+	}
+	plan := &workload.FaultPlan{Outages: []workload.RegionOutage{
+		{Region: "west", Start: 15 * time.Second, End: 25 * time.Second},
+	}}
+	serial, parallel := runBothTraced(t, func(p int, o *obs.Observer) (*Result, error) {
+		regions := make([]Region, 2)
+		for i := range regions {
+			regions[i] = Region{
+				Configs: []Config{
+					{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}},
+					{CM: cm, Par: perf.Parallelism{SP: 1, TP: 1}},
+				},
+				Autoscale: &AutoscaleConfig{
+					Scaler:    NewQueueDepthAutoscaler(),
+					Interval:  5 * time.Second,
+					ColdStart: 5 * time.Second,
+					Min:       2,
+					Max:       4,
+				},
+			}
+		}
+		g := Geo{
+			Name:        "det-trace-geo",
+			Topology:    UniformTopology(120*time.Millisecond, "west", "east"),
+			Regions:     regions,
+			Router:      NewSpillOverRouter(),
+			Faults:      plan,
+			Parallelism: p,
+		}
+		g.Obs = o
+		return g.Run(tr)
+	})
+	if serial != parallel {
+		t.Fatal("parallel traced Geo.Run diverged from the serial path")
 	}
 }
 

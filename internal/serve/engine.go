@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/kvcache"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/specdec"
 	"repro/internal/workload"
@@ -264,8 +265,10 @@ type Engine struct {
 	rejected     []*seq
 	cost         perf.Cost // accumulated component times
 	tokensServed int
-	events       []IterEvent
-	recordEvents bool
+
+	// tap is the nil-gated observation sink (obs stream + deprecated
+	// IterEvent capture); nil on the untraced fast path. See tap.go.
+	tap *engineTap
 
 	// Measured prefix cache (nil unless Config.PrefixCache is set).
 	// cacheHits+cacheMisses increment exactly once per admitted request;
@@ -327,8 +330,8 @@ func (e *Engine) Run(reqs []workload.Request) []RequestMetrics {
 	if cap(e.completed) == 0 {
 		e.completed = make([]*seq, 0, len(reqs))
 	}
-	if e.recordEvents && e.events == nil {
-		e.events = make([]IterEvent, 0, eventCapHint(reqs))
+	if t := e.tap; t != nil && t.recordIters && t.iters == nil {
+		t.iters = make([]IterEvent, 0, eventCapHint(reqs))
 	}
 	for !e.finished() {
 		e.admit()
@@ -392,6 +395,7 @@ func (e *Engine) admit() {
 			req: r, effInput: r.InputTokens, cached: cached, prefilled: cached,
 			enqueued: r.Arrival, firstTok: -1,
 		})
+		e.tap.event(r.Arrival, obs.EvEnqueue, r.ID, "")
 		if r.Priority != 0 || r.SLO != nil {
 			e.sloAware = true
 		}
@@ -426,6 +430,7 @@ func (e *Engine) resolveEmpty() bool {
 		e.running = nil
 		s.rejectReason = RejectKVExhausted
 		e.rejected = append(e.rejected, s)
+		e.tap.event(e.now, obs.EvReject, s.req.ID, string(RejectKVExhausted))
 		return true
 	}
 	if e.nextArrival() < 0 && e.waiting.len() > 0 {
@@ -434,6 +439,7 @@ func (e *Engine) resolveEmpty() bool {
 		for _, s := range e.waiting.seqs() {
 			s.rejectReason = RejectUnservablePrompt
 			e.rejected = append(e.rejected, s)
+			e.tap.event(e.now, obs.EvReject, s.req.ID, string(RejectUnservablePrompt))
 		}
 		e.waiting.clear()
 		return true
@@ -606,6 +612,7 @@ func (e *Engine) schedule() batchPlan {
 			s.rejectReason = RejectUnservablePrompt
 			e.rejected = append(e.rejected, s)
 			e.waiting.removeAt(i)
+			e.tap.event(e.now, obs.EvReject, s.req.ID, string(RejectUnservablePrompt))
 			continue
 		}
 		if !e.canAdmit(s, budget, watermark) {
@@ -630,6 +637,7 @@ func (e *Engine) schedule() batchPlan {
 		}
 		e.waiting.removeAt(i)
 		e.running = append(e.running, s)
+		e.tap.event(e.now, obs.EvAdmit, s.req.ID, "")
 		plan.prefills = append(plan.prefills, s)
 		plan.chunks = append(plan.chunks, chunk)
 		budget -= chunk
@@ -655,6 +663,7 @@ func (e *Engine) preemptAt(i int) {
 	e.preemptions++
 	e.running = append(e.running[:i], e.running[i+1:]...)
 	e.waiting.pushFront(s)
+	e.tap.event(e.now, obs.EvPreempt, s.req.ID, "")
 }
 
 // victimAfter picks the preemption victim among running[after+1:]. The
@@ -884,6 +893,7 @@ func (e *Engine) apply(plan batchPlan, cost perf.Cost, end time.Duration) {
 			if s.firstTok < 0 {
 				s.firstTok = e.now
 			}
+			e.tap.event(e.now, obs.EvPrefillDone, s.req.ID, "")
 		}
 	}
 	yield := e.cfg.Stack.Spec.TokensPerStep()
@@ -904,17 +914,18 @@ func (e *Engine) apply(plan batchPlan, cost perf.Cost, end time.Duration) {
 			s.finished = e.now
 			e.alloc.Release(s.req.ID)
 			e.completed = append(e.completed, s)
+			e.tap.event(e.now, obs.EvFinish, s.req.ID, "")
 		} else {
 			kept = append(kept, s)
 		}
 	}
 	e.running = kept
 
-	if e.recordEvents {
+	if t := e.tap; t != nil && t.recordIters {
 		// Tokens counts input tokens processed plus output tokens emitted
 		// this iteration, so a series over events sums to the trace's
 		// combined token total.
-		e.events = append(e.events, IterEvent{At: e.now, Duration: cost.Total(), Tokens: produced, Par: plan.par})
+		t.iters = append(t.iters, IterEvent{At: e.now, Duration: cost.Total(), Tokens: produced, Par: plan.par})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/conc"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -383,7 +384,17 @@ type Geo struct {
 	// region with no RTT. See SharedCacheConfig.
 	SharedCache *SharedCacheConfig
 	// RecordEvents enables per-iteration event capture on every engine.
+	//
+	// Deprecated: this predates the obs layer and survives as a thin
+	// compatibility shim over the engine tap (Result.Events is
+	// unchanged). New consumers should set Obs and use its samples.
 	RecordEvents bool
+	// Obs, when set, collects request lifecycle spans and per-region
+	// controller time series for the run (see internal/obs). Tracks:
+	// one process per region (replicas plus the regional balancer) and
+	// a "geo" process holding the geo balancer's routing, refugee-hop,
+	// and drop events. nil keeps the run on the untraced fast path.
+	Obs *obs.Observer
 	// Parallelism bounds the worker pools that advance regions (and,
 	// within each region, replicas) concurrently between controller
 	// events: 0 uses GOMAXPROCS, 1 forces the serial path. Regions share
@@ -510,6 +521,8 @@ type geoFaults struct {
 	nextProbe  time.Duration
 	pending    []workload.Request
 	dropped    []RequestMetrics
+	// bal is the geo balancer's obs track (nil when tracing is off).
+	bal *obs.Stream
 }
 
 // next returns the controller's earliest upcoming fault event; crashes
@@ -540,6 +553,9 @@ func (gf *geoFaults) reap(runs []*regionRun) {
 	}
 	for _, r := range gf.pending {
 		gf.dropped = append(gf.dropped, crashDroppedMetrics(r, ""))
+		// Stamped at the request's last (re-)submission time — the
+		// moment it entered the pending queue it never left.
+		gf.bal.Event(r.Arrival, obs.EvDrop, r.ID, "stranded")
 	}
 	gf.pending = nil
 }
@@ -576,6 +592,10 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		return nil, err
 	}
 	shared := newSharedTier(g.SharedCache)
+	// Track registration order: the geo balancer first, then each
+	// region's balancer and replicas in topology order (all serial, so
+	// exports are worker-count independent).
+	geoBal := g.Obs.Stream("geo", "geo-balancer")
 
 	// Fault wiring: resolve the plan's region scopes (empty names the
 	// home region, topology index 0) and build the cross-region crash
@@ -608,6 +628,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			maxRetries: g.Faults.Retries(),
 			probeEvery: hc.ProbeInterval,
 			nextProbe:  hc.ProbeInterval,
+			bal:        geoBal,
 		}
 		if g.Faults != nil {
 			for _, c := range g.Faults.Crashes {
@@ -668,6 +689,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			ac: ac, name: name, recordEvents: g.RecordEvents,
 			workers: conc.Workers(g.Parallelism),
 		}
+		fleet.observe(g.Obs, name, "balancer")
 		if faultsOn {
 			fleet.faultsOn = true
 			fleet.health = hc
@@ -724,6 +746,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		if gf != nil && runs[gi].fleet.routableCount() == 0 {
 			return fmt.Errorf("serve: geo router %s placed a request on dark region %s", router.Name(), runs[gi].name)
 		}
+		geoBal.Event(now, obs.EvRoute, r.ID, runs[gi].name)
 		return runs[gi].fleet.route(runs[gi].router, r, now)
 	}
 
@@ -780,11 +803,15 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			sub := r.SubmittedAt()
 			if r.Retries >= gf.maxRetries {
 				gf.dropped = append(gf.dropped, crashDroppedMetrics(r, ""))
+				geoBal.Event(now, obs.EvDrop, r.ID, "retry-budget")
 				continue
 			}
 			r.Retries++
 			r.Submitted = sub
 			r.Arrival = now
+			// A refugee hop: the re-placement below may land in another
+			// region (place emits the route event with the new region).
+			geoBal.Event(now, obs.EvRetry, r.ID, "")
 			if err := place(r, now); err != nil {
 				return err
 			}
@@ -856,6 +883,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		// The shared tier answers fresh arrivals only; crash retries and
 		// outage refugees re-route through place without consulting it.
 		if shared.intercept(r) {
+			geoBal.Event(r.Arrival, obs.EvSharedHit, r.ID, "")
 			continue
 		}
 		if err := place(r, r.Arrival); err != nil {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -140,6 +141,13 @@ func (f *fleetState) crashReplica(rep *replica, now, restartAt time.Duration) []
 	}
 	rep.refreshLive()
 	lost, lostTok := rep.engine.crashDrain()
+	// Crash and per-request loss land on the replica's own track, at
+	// controller time (the engine's clock may have overshot the event).
+	// Safe serially: every engine is parked at the controller barrier.
+	rep.engine.tap.event(now, obs.EvCrash, obs.NoRequest, "")
+	for _, r := range lost {
+		rep.engine.tap.event(now, obs.EvLost, r.ID, "")
+	}
 	f.workLost += lostTok
 	f.crashCount++
 	rep.down = true
@@ -170,6 +178,7 @@ func (f *fleetState) probeAll(now time.Duration) []workload.Request {
 			if rep.engine.now < now {
 				rep.engine.now = now
 			}
+			rep.engine.tap.event(now, obs.EvRestart, obs.NoRequest, "")
 		}
 		if rep.down {
 			rep.probeFails++
@@ -179,6 +188,10 @@ func (f *fleetState) probeAll(now time.Duration) []workload.Request {
 				f.ejections++
 				rep.refreshLive()
 				drained, _ := rep.engine.crashDrain()
+				rep.engine.tap.event(now, obs.EvEject, obs.NoRequest, "")
+				for _, r := range drained {
+					rep.engine.tap.event(now, obs.EvLost, r.ID, "")
+				}
 				lost = append(lost, drained...)
 				rep.clearLive()
 			}
@@ -189,6 +202,7 @@ func (f *fleetState) probeAll(now time.Duration) []workload.Request {
 			rep.ejected = false
 			f.readmissions++
 			f.relevel(rep)
+			rep.engine.tap.event(now, obs.EvReadmit, obs.NoRequest, "")
 		}
 	}
 	return lost
@@ -382,11 +396,13 @@ func (fc *faultRun) resubmit(lost []workload.Request, now time.Duration) error {
 		sub := r.SubmittedAt()
 		if r.Retries >= fc.maxRetries {
 			fc.dropped = append(fc.dropped, crashDroppedMetrics(r, ""))
+			fc.fleet.bal.Event(now, obs.EvDrop, r.ID, "retry-budget")
 			continue
 		}
 		r.Retries++
 		r.Submitted = sub
 		r.Arrival = now
+		fc.fleet.bal.Event(now, obs.EvRetry, r.ID, "")
 		if err := fc.place(r, now); err != nil {
 			return err
 		}
@@ -434,13 +450,14 @@ func (fc *faultRun) flush(now time.Duration) error {
 // declined to spawn. Without it a dead fleet would spin the drain
 // loop forever; with it every request still reaches a terminal,
 // conservation-checked outcome.
-func (fc *faultRun) reapStranded() {
+func (fc *faultRun) reapStranded(now time.Duration) {
 	f := fc.fleet
 	if len(f.pending) == 0 || f.routableCount() > 0 || f.canRecover() {
 		return
 	}
 	for _, r := range f.pending {
 		fc.dropped = append(fc.dropped, crashDroppedMetrics(r, ""))
+		f.bal.Event(now, obs.EvDrop, r.ID, "stranded")
 	}
 	f.pending = nil
 }

@@ -468,7 +468,7 @@ func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Resu
 		r.Cost.AllReduce += e.cost.AllReduce
 		r.Cost.AllToAll += e.cost.AllToAll
 		r.Cost.Overhead += e.cost.Overhead
-		r.Events = append(r.Events, e.events...)
+		r.Events = append(r.Events, e.iterEvents()...)
 		if e.pcache != nil {
 			r.CacheHits += e.cacheHits
 			r.CacheMisses += e.cacheMisses

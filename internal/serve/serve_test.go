@@ -99,11 +99,11 @@ func TestChunkedPrefillSplitsLongPrompt(t *testing.T) {
 	cfg := tp8Cfg(cm)
 	cfg.ChunkBudget = 2048
 	e := mustEngine(t, cfg)
-	e.recordEvents = true
+	e.setRecordIters(true)
 	e.Run(workload.Single(10000, 10).Requests)
 	// 10000-token prompt at 2048/iter: 5 prefill iterations.
 	prefillIters := 0
-	for _, ev := range e.events {
+	for _, ev := range e.iterEvents() {
 		if ev.Tokens > 1 {
 			prefillIters++
 		}
@@ -175,9 +175,9 @@ func TestShiftThresholdRouting(t *testing.T) {
 	cfg := shiftCfg(cm)
 	cfg.ShiftThreshold = 100
 	e := mustEngine(t, cfg)
-	e.recordEvents = true
+	e.setRecordIters(true)
 	e.Run(workload.Single(4096, 50).Requests)
-	for _, ev := range e.events {
+	for _, ev := range e.iterEvents() {
 		if ev.Tokens > 100 && ev.Par.SP == 1 {
 			t.Fatalf("large batch (%d tokens) ran on shift config", ev.Tokens)
 		}

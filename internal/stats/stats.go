@@ -118,6 +118,18 @@ func (s *Sample) FracBelow(v float64) float64 {
 	return float64(sort.SearchFloat64s(s.vals, math.Nextafter(v, math.Inf(1)))) / float64(len(s.vals))
 }
 
+// Percentiles returns the requested percentiles in argument order —
+// one sort shared across the batch, for table rows that report several
+// quantiles of the same sample (P50/P95/P99 columns). Each p obeys
+// Percentile's contract: 0 <= p <= 100, empty samples yield 0.
+func (s *Sample) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = s.Percentile(p)
+	}
+	return out
+}
+
 // Median returns the 50th percentile.
 func (s *Sample) Median() float64 { return s.Percentile(50) }
 

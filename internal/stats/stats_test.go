@@ -57,6 +57,28 @@ func TestPercentileExact(t *testing.T) {
 	}
 }
 
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	got := s.Percentiles(0, 50, 95, 99, 100)
+	want := []float64{
+		s.Percentile(0), s.Percentile(50), s.Percentile(95),
+		s.Percentile(99), s.Percentile(100),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Percentiles = %v, want %v", got, want)
+	}
+	var empty Sample
+	if got := empty.Percentiles(50, 99); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty Percentiles = %v, want zeros", got)
+	}
+	if got := s.Percentiles(); len(got) != 0 {
+		t.Fatalf("no-arg Percentiles = %v, want empty", got)
+	}
+}
+
 func TestPercentileSingle(t *testing.T) {
 	var s Sample
 	s.Add(42)
