@@ -13,9 +13,9 @@ FUZZTIME ?= 10s
 # margin absorbs counting noise, not deleted tests).
 COVERFLOOR ?= 86.0
 
-.PHONY: ci fmt vet test race bench bench-json trace-smoke perfbench build docs fuzz fuzz-short cover
+.PHONY: ci fmt vet test race bench bench-json trace-smoke chaos-smoke perfbench build docs fuzz fuzz-short cover
 
-ci: fmt vet docs race bench bench-json trace-smoke fuzz-short cover
+ci: fmt vet docs race bench bench-json trace-smoke chaos-smoke fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,22 @@ trace-smoke:
 		-trace .trace-smoke.json -series .trace-smoke.csv > /dev/null
 	$(GO) run ./cmd/jsonlint .trace-smoke.json
 	@rm -f .trace-smoke.json .trace-smoke.csv
+
+# Overload-robustness smoke: run the two chaos scenarios at quick scale
+# through simctl -json, validate the emitted files, and assert the
+# mechanisms actually fired — admission control shed requests under the
+# burst and the mass crash caused retries. A chaos path that silently
+# goes idle is a CI bug, not a green run.
+chaos-smoke:
+	@mkdir -p .chaos-smoke
+	$(GO) run ./cmd/simctl run admission-control retry-storm -quick -json -out .chaos-smoke > /dev/null
+	$(GO) run ./cmd/jsonlint .chaos-smoke/BENCH_admission-control.json .chaos-smoke/BENCH_retry-storm.json
+	@shed="$$(awk '/"deadline-infeasible"/{n=NR} n && NR==n+3 {gsub(/[", ]/,""); print; exit}' .chaos-smoke/BENCH_admission-control.json)"; \
+	retries="$$(awk '/"immediate"/{n=NR} n && NR==n+3 {gsub(/[", ]/,""); print; exit}' .chaos-smoke/BENCH_retry-storm.json)"; \
+	rm -rf .chaos-smoke; \
+	echo "chaos-smoke: shed=$$shed retries=$$retries"; \
+	[ -n "$$shed" ] && [ "$$shed" != "0" ] || { echo "chaos-smoke: admission-control shed nothing"; exit 1; }; \
+	[ -n "$$retries" ] && [ "$$retries" != "0" ] || { echo "chaos-smoke: retry-storm caused no retries"; exit 1; }
 
 # Simulator-performance benchmarks (engine hot path, fleet stepping,
 # sweep fan-out) with allocation stats, repeated PERFCOUNT times so the

@@ -95,6 +95,66 @@ func (p params) Set(s string) error {
 	return nil
 }
 
+// editDistance is the Levenshtein distance between two names — small
+// inputs only (scenario names), so the quadratic table is fine.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// unknownScenarioMsg builds the error for a scenario name that is not
+// registered: a nearest-name suggestion when the typo is close to a
+// real name, the full registry otherwise.
+func unknownScenarioMsg(name string) string {
+	best, bestDist := "", len(name)+1
+	for _, n := range scenario.Names() {
+		if d := editDistance(name, n); d < bestDist {
+			best, bestDist = n, d
+		}
+	}
+	if best != "" && bestDist <= max(2, len(name)/3) {
+		return fmt.Sprintf("unknown scenario %q (did you mean %q? simctl list shows all)", name, best)
+	}
+	return fmt.Sprintf("unknown scenario %q (registered: %s)",
+		name, strings.Join(scenario.Names(), ", "))
+}
+
+// unknownParamMsg builds the error for a -p key no selected scenario
+// declares, listing what the selection actually accepts so the fix is
+// one glance away.
+func unknownParamMsg(key string, scens []scenario.Scenario) string {
+	var decl []string
+	for _, s := range scens {
+		names := make([]string, len(s.Params))
+		for i, p := range s.Params {
+			names[i] = p.Name
+		}
+		if len(names) > 0 {
+			decl = append(decl, s.Name+": "+strings.Join(names, ", "))
+		}
+	}
+	if len(decl) == 0 {
+		return fmt.Sprintf("param %q is not declared by any selected scenario (the selection declares no params)", key)
+	}
+	return fmt.Sprintf("param %q is not declared by any selected scenario (declared — %s)",
+		key, strings.Join(decl, "; "))
+}
+
 func runList() { writeList(os.Stdout) }
 
 // writeList renders the registry listing — names, summaries, and
@@ -156,8 +216,7 @@ func runRun(args []string) {
 		for _, name := range names {
 			s, ok := scenario.Get(name)
 			if !ok {
-				log.Fatalf("simctl run: unknown scenario %q (registered: %s)",
-					name, strings.Join(scenario.Names(), ", "))
+				log.Fatalf("simctl run: %s", unknownScenarioMsg(name))
 			}
 			scens = append(scens, s)
 		}
@@ -185,7 +244,7 @@ func runRun(args []string) {
 	}
 	for k := range pvals {
 		if !consumed[k] {
-			log.Fatalf("simctl run: param %q is not declared by any selected scenario", k)
+			log.Fatalf("simctl run: %s", unknownParamMsg(k, scens))
 		}
 	}
 

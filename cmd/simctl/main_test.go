@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 // TestListGolden pins `simctl list` — the registry's user-facing
@@ -39,4 +42,45 @@ func TestListGolden(t *testing.T) {
 		}
 	}
 	t.Fatal(fmt.Sprintf("list output diverged from testdata/list.golden (%d vs %d bytes)", buf.Len(), len(golden)))
+}
+
+// TestUnknownScenarioSuggestion pins the typo UX: a near-miss name gets
+// a nearest-name suggestion, and a name unlike anything registered
+// falls back to the full registry listing.
+func TestUnknownScenarioSuggestion(t *testing.T) {
+	msg := unknownScenarioMsg("retry-strom")
+	if !strings.Contains(msg, `did you mean "retry-storm"`) {
+		t.Fatalf("no nearest-name suggestion in %q", msg)
+	}
+	msg = unknownScenarioMsg("admision-control")
+	if !strings.Contains(msg, `did you mean "admission-control"`) {
+		t.Fatalf("no nearest-name suggestion in %q", msg)
+	}
+	msg = unknownScenarioMsg("zzzzzzzzzzzz")
+	if strings.Contains(msg, "did you mean") {
+		t.Fatalf("gibberish got a suggestion: %q", msg)
+	}
+	if !strings.Contains(msg, "registered:") || !strings.Contains(msg, "retry-storm") {
+		t.Fatalf("fallback does not list the registry: %q", msg)
+	}
+}
+
+// TestUnknownParamListsDeclared pins the -p typo UX: the error names
+// every param the selected scenarios actually declare.
+func TestUnknownParamListsDeclared(t *testing.T) {
+	ac, ok1 := scenario.Get("admission-control")
+	rs, ok2 := scenario.Get("retry-storm")
+	if !ok1 || !ok2 {
+		t.Fatal("overload scenarios not registered")
+	}
+	msg := unknownParamMsg("polcies", []scenario.Scenario{ac, rs})
+	for _, want := range []string{`param "polcies"`, "admission-control: policies", "retry-storm: modes, window"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("%q missing from %q", want, msg)
+		}
+	}
+	msg = unknownParamMsg("x", nil)
+	if !strings.Contains(msg, "declares no params") {
+		t.Fatalf("empty selection message wrong: %q", msg)
+	}
 }

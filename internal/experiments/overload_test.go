@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// col parses one numeric cell out of a rendered stats table row.
+func col(t *testing.T, row []string, i int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[i], 64)
+	if err != nil {
+		t.Fatalf("cell %d = %q is not numeric: %v", i, row[i], err)
+	}
+	return v
+}
+
+// TestAdmissionControlSheds pins the admission-control scenario's
+// contract at quick scale: the no-policy baseline queues everything
+// (zero sheds), both shedding policies actually shed, and shedding buys
+// a strictly better served-attainment than queueing blind.
+func TestAdmissionControlSheds(t *testing.T) {
+	e := DefaultEnv()
+	e.Quick = true
+	tab, err := AdmissionControl(Env(e), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 policies", len(tab.Rows))
+	}
+	// Columns: Policy, TTFT-SLO %, Served TTFT-SLO %, Shed, ...
+	noneServed := col(t, tab.Rows[0], 2)
+	if shed := col(t, tab.Rows[0], 3); shed != 0 {
+		t.Fatalf("none policy shed %.0f requests", shed)
+	}
+	for _, row := range tab.Rows[1:] {
+		if shed := col(t, row, 3); shed == 0 {
+			t.Fatalf("policy %s shed nothing under the overload burst", row[0])
+		}
+		if served := col(t, row, 2); served <= noneServed {
+			t.Fatalf("policy %s served-attainment %.2f%% not above the queue-blind %.2f%%",
+				row[0], served, noneServed)
+		}
+	}
+}
+
+// TestRetryStormOrdering pins the retry-storm scenario's headline
+// claim at quick scale: on recovery-window attainment, backoff+budget
+// strictly beats immediate re-submission, and the budget visibly works
+// (drops recorded, amplification below immediate's).
+func TestRetryStormOrdering(t *testing.T) {
+	e := DefaultEnv()
+	e.Quick = true
+	tab, err := RetryStorm(Env(e), nil, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 modes", len(tab.Rows))
+	}
+	// Columns: Mode, Int TTFT-SLO %, Recovery TTFT-SLO %, Retries, Amp,
+	// Dropped, BackoffWait s, ...
+	rows := map[string][]string{}
+	for _, row := range tab.Rows {
+		rows[row[0]] = row
+	}
+	imm, bud := rows["immediate"], rows["backoff-budget"]
+	if imm == nil || bud == nil {
+		t.Fatalf("missing modes in %v", tab.Rows)
+	}
+	immRecov, budRecov := col(t, imm, 2), col(t, bud, 2)
+	if budRecov <= immRecov {
+		t.Fatalf("backoff+budget recovery attainment %.2f%% does not beat immediate %.2f%%",
+			budRecov, immRecov)
+	}
+	if col(t, imm, 3) == 0 {
+		t.Fatal("mass crash caused no immediate retries")
+	}
+	if col(t, bud, 5) == 0 {
+		t.Fatal("budget dropped nothing despite the storm")
+	}
+	if col(t, bud, 4) >= col(t, imm, 4) {
+		t.Fatal("budget did not reduce retry amplification")
+	}
+	if col(t, imm, 6) != 0 {
+		t.Fatal("immediate mode recorded backoff wait")
+	}
+	if col(t, bud, 6) == 0 {
+		t.Fatal("backoff+budget recorded no backoff wait")
+	}
+}

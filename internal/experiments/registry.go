@@ -323,6 +323,36 @@ func init() {
 		}),
 	})
 	scenario.Register(scenario.Scenario{
+		Name:    "admission-control",
+		Summary: "Admission policies under an overload burst: goodput and attainment vs shed fraction",
+		Params: []scenario.Param{{Name: "policies", Kind: scenario.Strings, Default: nil,
+			Help: "admission policies to sweep (subset of none,deadline-infeasible,projected-attainment; default all)"}},
+		Run: one("admission-control", func(e Env, v scenario.Values) (*stats.Table, error) {
+			for _, p := range v.StringList("policies") {
+				if !slices.Contains(serve.AdmissionPolicyNames, p) {
+					return nil, fmt.Errorf("unknown admission policy %q (want one of %v)", p, serve.AdmissionPolicyNames)
+				}
+			}
+			return AdmissionControl(e, v.StringList("policies"))
+		}),
+	})
+	scenario.Register(scenario.Scenario{
+		Name:    "retry-storm",
+		Summary: "Mass-crash recovery: immediate retries vs backoff vs backoff+budget",
+		Params: []scenario.Param{
+			{Name: "modes", Kind: scenario.Strings, Default: nil,
+				Help: "retry disciplines to sweep (subset of immediate,backoff,backoff-budget; default all)"},
+			{Name: "window", Kind: scenario.Duration, Default: 60 * time.Second,
+				Help: "recovery window measured from the mass-crash time"},
+		},
+		Run: one("retry-storm", func(e Env, v scenario.Values) (*stats.Table, error) {
+			if w := v.Duration("window"); w <= 0 {
+				return nil, fmt.Errorf("recovery window %v must be positive", w)
+			}
+			return RetryStorm(e, v.StringList("modes"), v.Duration("window"))
+		}),
+	})
+	scenario.Register(scenario.Scenario{
 		Name:    "cache-measured",
 		Summary: "Measured per-replica prefix cache: routing policies vs the assumed-rate baseline",
 		Params: []scenario.Param{

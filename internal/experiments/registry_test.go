@@ -20,6 +20,7 @@ var goldenScenarios = []string{
 	"ablation-memory-strategy",
 	"ablation-prefix-cache",
 	"ablation-threshold",
+	"admission-control",
 	"autoscaling",
 	"burstbench",
 	"cache-measured",
@@ -45,6 +46,7 @@ var goldenScenarios = []string{
 	"geobench",
 	"hetero-routing",
 	"outage-spillover",
+	"retry-storm",
 	"shared-cache-tier",
 	"simbench",
 	"simulator-speed",

@@ -76,29 +76,45 @@ const (
 	EvScaleUp
 	// EvScaleDown: the autoscaler drained a replica (Detail = name).
 	EvScaleDown
+	// EvShed: admission control shed the request as unservable within
+	// its SLO (Detail = reason). Terminal.
+	EvShed
+	// EvBreakerOpen: the track's circuit breaker tripped open — routing
+	// diverts around it.
+	EvBreakerOpen
+	// EvBreakerHalfOpen: the breaker's open window elapsed; probe
+	// traffic is allowed through again.
+	EvBreakerHalfOpen
+	// EvBreakerClose: the half-open probes succeeded and the breaker
+	// closed.
+	EvBreakerClose
 )
 
 // NoRequest is the Req value for fleet lifecycle events.
 const NoRequest = -1
 
 var kindNames = [...]string{
-	EvEnqueue:     "enqueue",
-	EvAdmit:       "admit",
-	EvPrefillDone: "prefill-done",
-	EvPreempt:     "preempt",
-	EvFinish:      "finish",
-	EvReject:      "reject",
-	EvRoute:       "route",
-	EvSharedHit:   "shared-hit",
-	EvRetry:       "retry",
-	EvDrop:        "drop",
-	EvLost:        "lost",
-	EvCrash:       "crash",
-	EvRestart:     "restart",
-	EvEject:       "eject",
-	EvReadmit:     "readmit",
-	EvScaleUp:     "scale-up",
-	EvScaleDown:   "scale-down",
+	EvEnqueue:         "enqueue",
+	EvAdmit:           "admit",
+	EvPrefillDone:     "prefill-done",
+	EvPreempt:         "preempt",
+	EvFinish:          "finish",
+	EvReject:          "reject",
+	EvRoute:           "route",
+	EvSharedHit:       "shared-hit",
+	EvRetry:           "retry",
+	EvDrop:            "drop",
+	EvLost:            "lost",
+	EvCrash:           "crash",
+	EvRestart:         "restart",
+	EvEject:           "eject",
+	EvReadmit:         "readmit",
+	EvScaleUp:         "scale-up",
+	EvScaleDown:       "scale-down",
+	EvShed:            "shed",
+	EvBreakerOpen:     "breaker-open",
+	EvBreakerHalfOpen: "breaker-half-open",
+	EvBreakerClose:    "breaker-close",
 }
 
 func (k Kind) String() string {
@@ -114,7 +130,7 @@ func (k Kind) String() string {
 // once.
 func (k Kind) Terminal() bool {
 	switch k {
-	case EvFinish, EvReject, EvDrop, EvSharedHit:
+	case EvFinish, EvReject, EvDrop, EvSharedHit, EvShed:
 		return true
 	}
 	return false
@@ -186,6 +202,14 @@ type Sample struct {
 	// CacheHitRate is the cumulative measured prefix-cache hit rate in
 	// [0,1] (zero when no replica runs a measured cache).
 	CacheHitRate float64 `json:"cacheHitRate"`
+
+	// ShedRate is the fraction of the window's terminal outcomes that
+	// admission control shed (zero without an admission policy).
+	ShedRate float64 `json:"shedRate"`
+	// BreakersOpen / BreakersHalfOpen count replica circuit breakers in
+	// those states after the tick (zero without a breaker config).
+	BreakersOpen     int `json:"breakersOpen"`
+	BreakersHalfOpen int `json:"breakersHalfOpen"`
 
 	// Classes is the per-class rolling attainment since the previous
 	// sample, sorted by class name.

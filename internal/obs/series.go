@@ -21,6 +21,7 @@ import (
 var seriesColumns = []string{
 	"t_ms", "track", "desired", "active", "warming", "draining",
 	"down", "ejected", "queued", "running", "kv_util", "cache_hit_rate",
+	"shed_rate", "breakers_open", "breakers_half_open",
 }
 
 // WriteSeriesCSV renders every sample as one CSV row. Class columns
@@ -58,6 +59,8 @@ func (o *Observer) WriteSeriesCSV(w io.Writer) error {
 			strconv.Itoa(s.QueuedRequests), strconv.Itoa(s.RunningRequests),
 			strconv.FormatFloat(s.KVUtil, 'f', 4, 64),
 			strconv.FormatFloat(s.CacheHitRate, 'f', 4, 64),
+			strconv.FormatFloat(s.ShedRate, 'f', 4, 64),
+			strconv.Itoa(s.BreakersOpen), strconv.Itoa(s.BreakersHalfOpen),
 		}
 		byClass := map[string]ClassAttainment{}
 		for _, c := range s.Classes {

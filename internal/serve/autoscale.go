@@ -42,6 +42,11 @@ type FleetView struct {
 	// attainment-driven policies.
 	WindowSLORequests int
 	WindowTTFTMet     int
+	// WindowOutcomes counts every terminal outcome (completion or
+	// rejection) in the window; WindowShed the subset cut by admission
+	// control — together the controller-tick shed rate.
+	WindowOutcomes int
+	WindowShed     int
 	// Down counts replicas that are dark or health-ejected (always zero
 	// without fault injection). They still count in Active/Draining —
 	// they are provisioned and billed — so Down is the extra signal a
@@ -349,6 +354,14 @@ type replica struct {
 	liveReqs     int
 	liveDoneSeen int
 	liveRejSeen  int
+
+	// Circuit breaker (nil unless the fleet enables breakers). The bk*
+	// cursors sweep the engine's terminal lists at serial controller
+	// points, feeding completions as successes and admission sheds as
+	// failures; crashes trip the breaker directly.
+	breaker    *breaker
+	bkDoneSeen int
+	bkRejSeen  int
 }
 
 // remaining counts routed-but-unfinished requests, the drain-victim
@@ -389,6 +402,10 @@ type fleetState struct {
 	ejections    int
 	readmissions int
 	workLost     int
+
+	// breakers enables per-replica circuit breakers (nil: off, the
+	// legacy routing path byte-for-byte).
+	breakers *BreakerConfig
 
 	// Observability (nil/inert unless the run sets an Observer). bal is
 	// the fleet's balancer track; obsRegion labels replica tracks (the
@@ -436,6 +453,9 @@ func (f *fleetState) spawn(cfg Config, at, cold time.Duration) error {
 	rep := &replica{
 		id: id, engine: e, spawnAt: at, readyAt: at + cold,
 		kvCapacity: e.KVCapacityTokens(), state: replicaWarming,
+	}
+	if f.breakers != nil {
+		rep.breaker = newBreaker(*f.breakers)
 	}
 	if cold == 0 {
 		rep.state = replicaActive
@@ -530,11 +550,58 @@ func (f *fleetState) allDone() bool {
 	return true
 }
 
+// syncBreakers sweeps each replica's terminal lists since the last
+// sync into its breaker: completions are successes, admission sheds are
+// failures (crashes trip directly in crashReplica). Runs only at serial
+// controller points, so the state machines see the same signal order
+// regardless of worker count.
+func (f *fleetState) syncBreakers(now time.Duration) {
+	if f.breakers == nil {
+		return
+	}
+	for _, rep := range f.replicas {
+		b := rep.breaker
+		e := rep.engine
+		for range e.completed[rep.bkDoneSeen:] {
+			if b.success() {
+				e.tap.event(now, obs.EvBreakerClose, obs.NoRequest, "")
+			}
+		}
+		rep.bkDoneSeen = len(e.completed)
+		for _, s := range e.rejected[rep.bkRejSeen:] {
+			if s.rejectReason != RejectShed {
+				continue
+			}
+			if b.failure(now) {
+				e.tap.event(now, obs.EvBreakerOpen, obs.NoRequest, "shed")
+			}
+		}
+		rep.bkRejSeen = len(e.rejected)
+	}
+}
+
+// breakerAllow consults a replica's breaker for routing, emitting the
+// half-open transition event when an open window lapses. Replicas
+// without a breaker always allow.
+func (f *fleetState) breakerAllow(rep *replica, now time.Duration) bool {
+	b := rep.breaker
+	if b == nil {
+		return true
+	}
+	wasOpen := b.state == breakerOpen
+	ok := b.allow(now)
+	if ok && wasOpen {
+		rep.engine.tap.event(now, obs.EvBreakerHalfOpen, obs.NoRequest, "")
+	}
+	return ok
+}
+
 // route places one arriving request on an active replica. Views mirror
 // routeTrace's assigned-work semantics exactly, so a never-scaled fleet
 // routes identically to the plain path.
 func (f *fleetState) route(router Router, r workload.Request, now time.Duration) error {
 	f.promote(now)
+	f.syncBreakers(now)
 	var views []ReplicaView
 	var targets []*replica
 	for _, rep := range f.replicas {
@@ -551,6 +618,7 @@ func (f *fleetState) route(router Router, r workload.Request, now time.Duration)
 			Live:                true,
 			LiveRequests:        rep.liveReqs,
 			LiveTokens:          rep.liveTokens,
+			BreakerOpen:         !f.breakerAllow(rep, now),
 		})
 		targets = append(targets, rep)
 	}
@@ -581,6 +649,7 @@ func (f *fleetState) view(now time.Duration) FleetView {
 		// after a scale-down. TTFTMet supplies the shared deadline
 		// semantics (NoDeadline is never missed, not even by rejection).
 		for _, s := range e.completed[rep.doneSeen:] {
+			v.WindowOutcomes++
 			if s.req.SLO != nil {
 				v.WindowSLORequests++
 				m := RequestMetrics{TTFT: s.firstTok - s.req.Arrival, SLO: s.req.SLO}
@@ -598,6 +667,10 @@ func (f *fleetState) view(now time.Duration) FleetView {
 		}
 		rep.doneSeen = len(e.completed)
 		for _, s := range e.rejected[rep.rejSeen:] {
+			v.WindowOutcomes++
+			if s.rejectReason == RejectShed {
+				v.WindowShed++
+			}
 			if s.req.SLO != nil {
 				v.WindowSLORequests++
 				m := RequestMetrics{Rejected: true, SLO: s.req.SLO}
@@ -649,6 +722,7 @@ func (f *fleetState) view(now time.Duration) FleetView {
 // evaluate runs one autoscaler decision at an evaluation boundary.
 func (f *fleetState) evaluate(now time.Duration) error {
 	f.promote(now)
+	f.syncBreakers(now)
 	v := f.view(now)
 	desired := f.ac.Scaler.Desired(v)
 	if desired < f.ac.Min {
@@ -733,6 +807,14 @@ func (f *fleetState) obsSample(now time.Duration, desired int, v FleetView) {
 		if rep.ejected {
 			smp.Ejected++
 		}
+		if rep.breaker != nil {
+			switch rep.breaker.state {
+			case breakerOpen:
+				smp.BreakersOpen++
+			case breakerHalfOpen:
+				smp.BreakersHalfOpen++
+			}
+		}
 		e := rep.engine
 		capTok += rep.kvCapacity
 		usedTok += rep.kvCapacity - e.alloc.FreeTokens()
@@ -744,6 +826,9 @@ func (f *fleetState) obsSample(now time.Duration, desired int, v FleetView) {
 	}
 	if hits+misses > 0 {
 		smp.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	if v.WindowOutcomes > 0 {
+		smp.ShedRate = float64(v.WindowShed) / float64(v.WindowOutcomes)
 	}
 	classes := make([]string, 0, len(f.clsReq))
 	for c := range f.clsReq {
@@ -758,6 +843,17 @@ func (f *fleetState) obsSample(now time.Duration, desired int, v FleetView) {
 	clear(f.clsReq)
 	clear(f.clsMet)
 	f.obs.Sample(smp)
+}
+
+// breakerOpens sums lifetime open transitions across the fleet.
+func (f *fleetState) breakerOpens() int {
+	n := 0
+	for _, rep := range f.replicas {
+		if rep.breaker != nil {
+			n += rep.breaker.opens
+		}
+	}
+	return n
 }
 
 // shrink retires n replicas: warming ones are cancelled newest-first
@@ -881,9 +977,12 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		r.reset()
 	}
 
+	if err := c.Breakers.validate(); err != nil {
+		return nil, err
+	}
 	fleet := &fleetState{
 		ac: ac, name: c.Name, recordEvents: c.RecordEvents,
-		workers: conc.Workers(c.Parallelism),
+		workers: conc.Workers(c.Parallelism), breakers: c.Breakers,
 	}
 	fleet.observe(c.Obs, "", "balancer")
 	var fc *faultRun
@@ -957,6 +1056,9 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 			continue
 		}
 		if fc != nil {
+			// Each fresh admission replenishes the retry budget (nil-safe
+			// no-op when no budget is configured).
+			fc.retry.noteAdmission()
 			if err := fc.place(r, r.Arrival); err != nil {
 				return nil, err
 			}
@@ -973,10 +1075,12 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 	// crash events keep firing so down replicas still get ejected and
 	// their black-holed work still reaches a terminal outcome.
 	fleet.draining = true
-	for !fleet.allDone() || len(fleet.pending) > 0 {
+	for !fleet.allDone() || len(fleet.pending) > 0 ||
+		(fc != nil && fc.retry.pending() > 0) {
 		at, kind := nextEvent()
 		fleet.advance(at, true)
-		if fleet.allDone() && len(fleet.pending) == 0 {
+		if fleet.allDone() && len(fleet.pending) == 0 &&
+			(fc == nil || fc.retry.pending() == 0) {
 			break
 		}
 		if err := handle(at, kind); err != nil {
@@ -1001,5 +1105,9 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 	res.Ejections = fleet.ejections
 	res.Readmissions = fleet.readmissions
 	res.WorkLostTokens = fleet.workLost
+	res.BreakerOpens = fleet.breakerOpens()
+	if fc != nil {
+		res.RetryBackoffWait = fc.retry.backoffWait()
+	}
 	return res, nil
 }

@@ -49,6 +49,13 @@ type Cluster struct {
 	// Health, when set, enables the router's health-check tier even
 	// without a fault plan; see HealthConfig.
 	Health *HealthConfig
+	// Breakers, when set, wraps every replica in a circuit breaker
+	// (closed → open → half-open) fed by admission sheds, completions,
+	// and crashes; breaker-aware routers steer traffic around open
+	// replicas. Composes with — does not replace — the Health tier.
+	// Requires Lockstep=false; runs on the autoscale controller (under
+	// the static policy when Autoscale is nil).
+	Breakers *BreakerConfig
 	// SharedCache, when set, answers repeated prompts (requests sharing
 	// a PromptKey) at the balancer after the configured latency, before
 	// any engine sees them; see SharedCacheConfig. Works on both the
@@ -98,7 +105,7 @@ func SingleEngine(name string, cfg Config) Cluster {
 // runAutoscaled); the static policy reproduces this fixed-fleet path
 // bit-for-bit.
 func (c Cluster) Run(t *workload.Trace) (*Result, error) {
-	if c.Autoscale != nil || c.Faults != nil || c.Health != nil {
+	if c.Autoscale != nil || c.Faults != nil || c.Health != nil || c.Breakers != nil {
 		return c.runAutoscaled(t)
 	}
 	if err := t.Validate(); err != nil {

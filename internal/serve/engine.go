@@ -70,6 +70,91 @@ type Config struct {
 	// before (and survived LRU eviction). See PrefixCacheConfig. nil
 	// keeps the assumed-rate path byte-identical.
 	PrefixCache *PrefixCacheConfig
+	// Admission, when set, enables SLO-aware admission control: each
+	// scheduling pass sheds waiting requests the policy judges unable to
+	// meet their TTFT deadline, with the RejectShed reason, instead of
+	// letting deadlines silently miss while the queue drowns. nil (or
+	// AdmissionNone) keeps the legacy always-admit path byte-identical.
+	Admission *AdmissionConfig
+}
+
+// Admission policy names (AdmissionConfig.Policy).
+const (
+	// AdmissionNone admits everything — the legacy path.
+	AdmissionNone = "none"
+	// AdmissionDeadline sheds every waiter whose projected first token
+	// (queue ahead of it, measured iteration time) lands past its TTFT
+	// deadline — requests that are provably going to miss anyway.
+	AdmissionDeadline = "deadline-infeasible"
+	// AdmissionProjected is AdmissionDeadline gated by a queue-wide
+	// hysteresis band: shedding only turns on while the waiting queue's
+	// projected TTFT attainment is below Target, and stays on until it
+	// recovers past Relax — so isolated stragglers survive but a
+	// drowning queue is cut back to servable load.
+	AdmissionProjected = "projected-attainment"
+)
+
+// AdmissionPolicyNames lists the admission policies in sweep order.
+var AdmissionPolicyNames = []string{AdmissionNone, AdmissionDeadline, AdmissionProjected}
+
+// Projected-attainment hysteresis defaults.
+const (
+	DefaultAdmissionTarget = 0.7
+	DefaultAdmissionRelax  = 0.9
+)
+
+// AdmissionConfig selects and tunes the engine's admission policy.
+type AdmissionConfig struct {
+	// Policy is one of AdmissionPolicyNames; "" means AdmissionNone.
+	Policy string
+	// Target and Relax bound the projected-attainment hysteresis (only
+	// consulted by AdmissionProjected): shedding starts below Target and
+	// stops at or above Relax. Zero means the defaults.
+	Target float64
+	Relax  float64
+}
+
+func (a *AdmissionConfig) withDefaults() AdmissionConfig {
+	c := *a
+	if c.Target == 0 {
+		c.Target = DefaultAdmissionTarget
+	}
+	if c.Relax == 0 {
+		c.Relax = DefaultAdmissionRelax
+	}
+	return c
+}
+
+// enabled reports whether the config actually sheds anything.
+func (a *AdmissionConfig) enabled() bool {
+	return a != nil && a.Policy != "" && a.Policy != AdmissionNone
+}
+
+func (a *AdmissionConfig) validate() error {
+	if a == nil {
+		return nil
+	}
+	switch a.Policy {
+	case "", AdmissionNone, AdmissionDeadline, AdmissionProjected:
+	default:
+		return fmt.Errorf("serve: unknown admission policy %q (want one of %v)", a.Policy, AdmissionPolicyNames)
+	}
+	c := a.withDefaults()
+	if c.Target < 0 || c.Target > 1 || c.Relax < 0 || c.Relax > 1 {
+		return fmt.Errorf("serve: admission thresholds target=%.2f relax=%.2f outside [0, 1]", c.Target, c.Relax)
+	}
+	if c.Relax < c.Target {
+		return fmt.Errorf("serve: admission relax %.2f below target %.2f (hysteresis would invert)", c.Relax, c.Target)
+	}
+	return nil
+}
+
+// admissionState is one engine's private admission-control state (each
+// replica judges its own queue; no state is shared across replicas).
+type admissionState struct {
+	cfg AdmissionConfig
+	// shedding is the projected-attainment hysteresis latch.
+	shedding bool
 }
 
 // Defaults mirroring vLLM's.
@@ -113,6 +198,9 @@ func (c Config) Validate() error {
 	if err := c.PrefixCache.validate(); err != nil {
 		return err
 	}
+	if err := c.Admission.validate(); err != nil {
+		return err
+	}
 	return c.Stack.Validate()
 }
 
@@ -133,6 +221,10 @@ const (
 	// times than the fault plan's retry budget allows — the fault
 	// controller's terminal outcome, never set by an engine itself.
 	RejectCrashDropped RejectReason = "crash-dropped"
+	// RejectShed marks a waiting request shed by admission control: the
+	// policy judged its TTFT deadline unmeetable and cut it early rather
+	// than serve a guaranteed miss (see AdmissionConfig).
+	RejectShed RejectReason = "shed"
 )
 
 // seq is a request in flight.
@@ -279,6 +371,15 @@ type Engine struct {
 	cacheHits         int
 	cacheMisses       int
 	cacheCachedTokens int
+
+	// Admission control (nil unless Config.Admission enables a policy):
+	// the shed pass runs at the top of every schedule() call, so the
+	// legacy path pays one pointer compare. shed/shedTokens count what
+	// the policy cut; shedFlags is the pass's reusable scratch buffer.
+	admission  *admissionState
+	shed       int
+	shedTokens int
+	shedFlags  []bool
 }
 
 // IterEvent records one engine iteration for time-series plots (Fig 7).
@@ -316,6 +417,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 			capTok = e.KVCapacityTokens()
 		}
 		e.pcache = newLRU(capTok, 0)
+	}
+	if cfg.Admission.enabled() {
+		e.admission = &admissionState{cfg: cfg.Admission.withDefaults()}
 	}
 	return e, nil
 }
@@ -474,6 +578,10 @@ func (b batchPlan) tokens() int {
 type urgentDemand struct{ prio, chunk int }
 
 func (e *Engine) schedule() batchPlan {
+	if e.admission != nil {
+		e.shedPass()
+	}
+
 	plan := batchPlan{
 		specTokens: e.cfg.Stack.Spec.VerifyTokensPerSeq(),
 		prefills:   e.planPrefills[:0],
@@ -646,6 +754,100 @@ func (e *Engine) schedule() batchPlan {
 	e.planPrefills, e.planChunks, e.planDecodes = plan.prefills, plan.chunks, plan.decodes
 	e.urgentsBuf = urgents
 	return plan
+}
+
+// estFirstToken projects when a waiting sequence would emit its first
+// token if admitted behind ahead prefill tokens, using the engine's
+// measured mean iteration time. Before the first iteration there is no
+// measurement and the projection is now — only already-missed deadlines
+// are judged infeasible.
+func (e *Engine) estFirstToken(s *seq, ahead int) time.Duration {
+	if e.iters == 0 {
+		return e.now
+	}
+	avg := e.cost.Total() / time.Duration(e.iters)
+	need := ahead + s.effInput - s.prefilled
+	iters := (need + e.cfg.ChunkBudget - 1) / e.cfg.ChunkBudget
+	if iters < 1 {
+		iters = 1
+	}
+	return e.now + time.Duration(iters)*avg
+}
+
+// shedPass applies the admission policy to the waiting queue: waiters
+// whose projected first token misses their TTFT deadline are shed with
+// RejectShed (under AdmissionProjected, only while the queue-wide
+// projected attainment is inside the hysteresis band). Runs before the
+// iteration plans, so shed requests free their queue slots the same
+// tick. Requests without a TTFT deadline — and preempted sequences that
+// already emitted a first token — are never shed.
+func (e *Engine) shedPass() {
+	st := e.admission
+	w := e.waiting.seqs()
+	if len(w) == 0 {
+		st.shedding = false // an empty queue is fully attained
+		return
+	}
+	// Prefill work already admitted runs ahead of every waiter.
+	ahead := 0
+	for _, s := range e.running {
+		if !s.prefillDone() {
+			ahead += s.effInput - s.prefilled
+		}
+	}
+	flags := e.shedFlags[:0]
+	total, infeasible := 0, 0
+	for _, s := range w {
+		bad := false
+		if s.firstTok < 0 && s.req.SLO != nil && s.req.SLO.TTFT > 0 && s.req.SLO.TTFT != workload.NoDeadline {
+			total++
+			deadline := s.req.SubmittedAt() + s.req.SLO.TTFT
+			if e.estFirstToken(s, ahead) > deadline {
+				bad = true
+				infeasible++
+			}
+		}
+		flags = append(flags, bad)
+		ahead += s.effInput - s.prefilled
+	}
+	e.shedFlags = flags
+	shed := false
+	switch st.cfg.Policy {
+	case AdmissionDeadline:
+		shed = true
+	case AdmissionProjected:
+		att := 1.0
+		if total > 0 {
+			att = float64(total-infeasible) / float64(total)
+		}
+		if st.shedding {
+			if att >= st.cfg.Relax {
+				st.shedding = false
+			}
+		} else if att < st.cfg.Target {
+			st.shedding = true
+		}
+		shed = st.shedding
+	}
+	if !shed || infeasible == 0 {
+		return
+	}
+	// Walk the live queue with a write index so sheds land in queue
+	// order; flags[i] corresponds to the original queue position i.
+	j := 0
+	for i := range flags {
+		if !flags[i] {
+			j++
+			continue
+		}
+		s := e.waiting.at(j)
+		s.rejectReason = RejectShed
+		e.rejected = append(e.rejected, s)
+		e.waiting.removeAt(j)
+		e.shed++
+		e.shedTokens += s.req.TotalTokens()
+		e.tap.event(e.now, obs.EvShed, s.req.ID, string(RejectShed))
+	}
 }
 
 // preemptAt applies vLLM's recompute preemption to running[i]: the

@@ -140,9 +140,16 @@ func checkConservation(t *testing.T, tr *workload.Trace, res *Result) {
 	if len(res.PerRequest) != len(tr.Requests) {
 		t.Fatalf("%d outcomes for %d requests", len(res.PerRequest), len(tr.Requests))
 	}
-	named := res.RejectedKVExhausted + res.RejectedUnservable + res.RejectedCrashDropped
+	named := res.RejectedKVExhausted + res.RejectedUnservable + res.RejectedCrashDropped + res.Shed
 	if named != res.Rejected {
 		t.Fatalf("named rejections %d != rejected %d", named, res.Rejected)
+	}
+	retried := 0
+	for _, m := range res.PerRequest {
+		retried += m.Retries
+	}
+	if retried != res.Retries {
+		t.Fatalf("per-request retries sum to %d, Result.Retries = %d", retried, res.Retries)
 	}
 }
 

@@ -154,6 +154,11 @@ type RegionView struct {
 	// health tier has fully ejected, before any recovery): geo routers
 	// must not place work on it. Always false without fault injection.
 	Down bool
+	// BreakerOpen marks a region whose circuit breaker is open: alive
+	// but shedding or crashing. Breaker-aware geo routers (spill-over)
+	// prefer other regions and fall back to open ones only when every
+	// candidate is open. Always false when breakers are disabled.
+	BreakerOpen bool
 }
 
 // GeoRouter places each arriving request on a region. Route is called in
@@ -291,8 +296,23 @@ func (s *SpillOverRouter) wait(v RegionView) float64 {
 	return float64(v.QueuedTokens+v.RunningTokens) / (rate * float64(active))
 }
 
-// Route implements GeoRouter.
+// Route implements GeoRouter. The first pass skips regions whose
+// breaker is open (a drowning region should not receive spill); when
+// every candidate is open the request has to land somewhere, so a
+// second pass ignores breakers (still never Down regions). With
+// breakers disabled every view has BreakerOpen false and the first
+// pass is the legacy scan exactly.
 func (s *SpillOverRouter) Route(_ workload.Request, origin int, regions []RegionView) int {
+	if i := s.pick(origin, regions, false); i >= 0 {
+		return i
+	}
+	if i := s.pick(origin, regions, true); i >= 0 {
+		return i
+	}
+	return origin
+}
+
+func (s *SpillOverRouter) pick(origin int, regions []RegionView, ignoreBreakers bool) int {
 	local := regions[origin]
 	localCost := s.wait(local)
 	active := local.Active
@@ -309,19 +329,16 @@ func (s *SpillOverRouter) Route(_ workload.Request, origin int, regions []Region
 		localCost += pen.Seconds()
 	}
 	best, bestCost := -1, 0.0
-	if !local.Down {
+	if !local.Down && (ignoreBreakers || !local.BreakerOpen) {
 		best, bestCost = origin, localCost
 	}
 	for i := range regions {
-		if i == origin || regions[i].Down {
+		if i == origin || regions[i].Down || (!ignoreBreakers && regions[i].BreakerOpen) {
 			continue
 		}
 		if c := regions[i].RTT.Seconds() + s.wait(regions[i]); best < 0 || c < bestCost {
 			best, bestCost = i, c
 		}
-	}
-	if best < 0 {
-		return origin
 	}
 	return best
 }
@@ -378,6 +395,12 @@ type Geo struct {
 	// defaults; see HealthConfig. Setting it without Faults enables the
 	// tier (probes simply never fail).
 	Health *HealthConfig
+	// Breakers, when set, wraps every replica AND every region in a
+	// circuit breaker: replica breakers steer each region's local
+	// router, region breakers steer breaker-aware geo routers
+	// (spill-over) around a shedding or crashing region. Composes with
+	// the Health tier; nil keeps the legacy routing path byte-for-byte.
+	Breakers *BreakerConfig
 	// SharedCache, when set, answers repeated prompts (requests sharing
 	// a PromptKey) at the geo balancer after the configured latency,
 	// before region placement; hits are billed to the request's origin
@@ -422,6 +445,67 @@ type regionRun struct {
 	// events, the denominator of the measured per-replica rate.
 	activeSeconds float64
 	lastAccrual   time.Duration
+
+	// Region-level circuit breaker (nil unless Geo.Breakers is set),
+	// aggregating every replica's terminal outcomes: completions are
+	// successes, admission sheds failures, and any replica crash trips
+	// it. The bk* cursors are independent of the fleet's per-replica
+	// breaker cursors.
+	breaker     *breaker
+	bkDoneSeen  []int
+	bkRejSeen   []int
+	bkCrashSeen int
+}
+
+// syncBreaker sweeps the region's terminal outcomes since the last
+// sync into the region breaker. Serial controller path only.
+func (rr *regionRun) syncBreaker(now time.Duration) {
+	b := rr.breaker
+	if b == nil {
+		return
+	}
+	for i, rep := range rr.fleet.replicas {
+		if i >= len(rr.bkDoneSeen) {
+			rr.bkDoneSeen = append(rr.bkDoneSeen, 0)
+			rr.bkRejSeen = append(rr.bkRejSeen, 0)
+		}
+		e := rep.engine
+		for range e.completed[rr.bkDoneSeen[i]:] {
+			if b.success() {
+				rr.fleet.bal.Event(now, obs.EvBreakerClose, obs.NoRequest, rr.name)
+			}
+		}
+		rr.bkDoneSeen[i] = len(e.completed)
+		for _, s := range e.rejected[rr.bkRejSeen[i]:] {
+			if s.rejectReason != RejectShed {
+				continue
+			}
+			if b.failure(now) {
+				rr.fleet.bal.Event(now, obs.EvBreakerOpen, obs.NoRequest, rr.name)
+			}
+		}
+		rr.bkRejSeen[i] = len(e.rejected)
+	}
+	for ; rr.bkCrashSeen < rr.fleet.crashCount; rr.bkCrashSeen++ {
+		if b.trip(now) {
+			rr.fleet.bal.Event(now, obs.EvBreakerOpen, obs.NoRequest, rr.name)
+		}
+	}
+}
+
+// breakerAllow consults the region breaker for geo routing, emitting
+// the half-open transition event when an open window lapses.
+func (rr *regionRun) breakerAllow(now time.Duration) bool {
+	b := rr.breaker
+	if b == nil {
+		return true
+	}
+	wasOpen := b.state == breakerOpen
+	ok := b.allow(now)
+	if ok && wasOpen {
+		rr.fleet.bal.Event(now, obs.EvBreakerHalfOpen, obs.NoRequest, rr.name)
+	}
+	return ok
 }
 
 // accrue extends the active-replica-seconds integral to now, using the
@@ -515,6 +599,7 @@ type geoCrashEvent struct {
 // drop records.
 type geoFaults struct {
 	maxRetries int
+	retry      *retrier // nil: legacy immediate retries
 	crashes    []geoCrashEvent
 	nextCrash  int
 	probeEvery time.Duration
@@ -526,7 +611,7 @@ type geoFaults struct {
 }
 
 // next returns the controller's earliest upcoming fault event; crashes
-// outrank probes at equal times.
+// outrank probes, which outrank backoff releases, at equal times.
 func (gf *geoFaults) next() (time.Duration, int, bool) {
 	at, kind, ok := time.Duration(0), 0, false
 	if gf.nextCrash < len(gf.crashes) {
@@ -534,6 +619,9 @@ func (gf *geoFaults) next() (time.Duration, int, bool) {
 	}
 	if p := gf.nextProbe; !ok || p < at {
 		at, kind, ok = p, evProbe, true
+	}
+	if r, rok := gf.retry.nextRelease(); rok && (!ok || r < at) {
+		at, kind, ok = r, evRelease, true
 	}
 	return at, kind, ok
 }
@@ -588,6 +676,9 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 	if r, ok := router.(resettable); ok {
 		r.reset()
 	}
+	if err := g.Breakers.validate(); err != nil {
+		return nil, err
+	}
 	if err := g.SharedCache.validate(); err != nil {
 		return nil, err
 	}
@@ -631,6 +722,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			bal:        geoBal,
 		}
 		if g.Faults != nil {
+			gf.retry = newRetrier(g.Faults.Retry)
 			for _, c := range g.Faults.Crashes {
 				ri, err := resolve(c.Region)
 				if err != nil {
@@ -687,7 +779,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		}
 		fleet := &fleetState{
 			ac: ac, name: name, recordEvents: g.RecordEvents,
-			workers: conc.Workers(g.Parallelism),
+			workers: conc.Workers(g.Parallelism), breakers: g.Breakers,
 		}
 		fleet.observe(g.Obs, name, "balancer")
 		if faultsOn {
@@ -712,6 +804,9 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			}
 		}
 		runs[i] = &regionRun{name: name, fleet: fleet, router: local, ac: ac, nextEval: ac.Interval}
+		if g.Breakers != nil {
+			runs[i].breaker = newBreaker(*g.Breakers)
+		}
 	}
 
 	workers := conc.Workers(g.Parallelism)
@@ -728,9 +823,11 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		views := make([]RegionView, len(runs))
 		anyUp := false
 		for i, rr := range runs {
+			rr.syncBreaker(now)
 			views[i] = rr.view(now)
 			views[i].Index = i
 			views[i].RTT = g.Topology.RTT[origin][i]
+			views[i].BreakerOpen = !rr.breakerAllow(now)
 			if !views[i].Down {
 				anyUp = true
 			}
@@ -798,6 +895,15 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			for _, rr := range runs {
 				lost = append(lost, rr.fleet.probeAll(now)...)
 			}
+		case evRelease:
+			// Backed-off retries whose delay elapsed re-enter geo routing.
+			for _, r := range gf.retry.takeDue(now) {
+				geoBal.Event(now, obs.EvRetry, r.ID, "")
+				if err := place(r, now); err != nil {
+					return err
+				}
+			}
+			return flush(now)
 		}
 		for _, r := range lost {
 			sub := r.SubmittedAt()
@@ -806,8 +912,19 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 				geoBal.Event(now, obs.EvDrop, r.ID, "retry-budget")
 				continue
 			}
+			if !gf.retry.take() {
+				gf.dropped = append(gf.dropped, crashDroppedMetrics(r, ""))
+				geoBal.Event(now, obs.EvDrop, r.ID, "retry-budget-exhausted")
+				continue
+			}
 			r.Retries++
 			r.Submitted = sub
+			if d := gf.retry.delay(r.Retries); d > 0 {
+				r.Arrival = now + d
+				gf.retry.waited += d
+				gf.retry.park(r, now+d)
+				continue
+			}
 			r.Arrival = now
 			// A refugee hop: the re-placement below may land in another
 			// region (place emits the route event with the new region).
@@ -886,6 +1003,11 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			geoBal.Event(r.Arrival, obs.EvSharedHit, r.ID, "")
 			continue
 		}
+		if gf != nil {
+			// Each fresh admission replenishes the retry budget (nil-safe
+			// no-op when no budget is configured).
+			gf.retry.noteAdmission()
+		}
 		if err := place(r, r.Arrival); err != nil {
 			return nil, err
 		}
@@ -900,7 +1022,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		if gf != nil {
 			gf.reap(runs)
 		}
-		done := gf == nil || len(gf.pending) == 0
+		done := gf == nil || (len(gf.pending) == 0 && gf.retry.pending() == 0)
 		if done {
 			for _, rr := range runs {
 				if !rr.fleet.allDone() {
@@ -984,6 +1106,13 @@ func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults, shared *sharedTier
 		res.Ejections += rr.fleet.ejections
 		res.Readmissions += rr.fleet.readmissions
 		res.WorkLostTokens += rr.fleet.workLost
+		res.BreakerOpens += rr.fleet.breakerOpens()
+		if rr.breaker != nil {
+			res.BreakerOpens += rr.breaker.opens
+		}
+	}
+	if gf != nil {
+		res.RetryBackoffWait = gf.retry.backoffWait()
 	}
 
 	// Replace the fixed-fleet accounting with per-region lifetimes, all

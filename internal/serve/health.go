@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -150,6 +151,11 @@ func (f *fleetState) crashReplica(rep *replica, now, restartAt time.Duration) []
 	}
 	f.workLost += lostTok
 	f.crashCount++
+	if rep.breaker != nil && rep.breaker.trip(now) {
+		// A crash is definitive failure evidence: trip the breaker
+		// directly, no threshold.
+		rep.engine.tap.event(now, obs.EvBreakerOpen, obs.NoRequest, "crash")
+	}
 	rep.down = true
 	rep.restartAt = restartAt
 	rep.probeFails = 0
@@ -300,12 +306,169 @@ func crashDroppedMetrics(r workload.Request, replica string) RequestMetrics {
 
 // Controller event kinds, in tie-break order at equal times: crashes
 // land first (the failure happens), then probes (detection), then
-// autoscaler evaluations (reaction).
+// backoff releases (delayed reaction), then autoscaler evaluations.
 const (
 	evCrash = iota
 	evProbe
+	evRelease
 	evEval
 )
+
+// delayedRetry is one backed-off request parked until its release time.
+type delayedRetry struct {
+	at  time.Duration
+	seq int // park order; tie-break at equal release times
+	req workload.Request
+}
+
+// retrier implements the controller-side retry discipline of a
+// workload.RetryPolicy: exponential backoff with deterministic seeded
+// jitter, and a token-bucket budget replenished by fresh admissions. A
+// nil *retrier is the legacy path — immediate re-arrival, no budget —
+// and every method is nil-receiver safe so call sites stay unguarded.
+// All state mutates on the serial controller path only.
+type retrier struct {
+	policy  workload.RetryPolicy
+	base    time.Duration
+	cap     time.Duration
+	rng     *tensor.RNG // jitter stream; nil when Jitter == 0
+	tokens  float64
+	burst   float64
+	delayed []delayedRetry
+	seq     int
+	// waited sums the backoff delay imposed across all retries
+	// (Result.RetryBackoffWait).
+	waited time.Duration
+}
+
+func newRetrier(p *workload.RetryPolicy) *retrier {
+	if p == nil {
+		return nil
+	}
+	rt := &retrier{policy: *p, base: p.Base(), cap: p.Cap()}
+	if p.Jitter > 0 {
+		rt.rng = tensor.NewRNG(p.Seed ^ 0x9e3779b97f4a7c15)
+	}
+	if p.BudgetRatio > 0 {
+		rt.burst = float64(p.Burst())
+		rt.tokens = rt.burst
+	}
+	return rt
+}
+
+// noteAdmission refills the budget for one fresh (non-retry) admission.
+func (rt *retrier) noteAdmission() {
+	if rt == nil || rt.policy.BudgetRatio <= 0 {
+		return
+	}
+	rt.tokens += rt.policy.BudgetRatio
+	if rt.tokens > rt.burst {
+		rt.tokens = rt.burst
+	}
+}
+
+// take spends one budget token; false means the budget is exhausted
+// and the retry must drop instead of re-submitting.
+func (rt *retrier) take() bool {
+	if rt == nil || rt.policy.BudgetRatio <= 0 {
+		return true
+	}
+	if rt.tokens < 1 {
+		return false
+	}
+	rt.tokens--
+	return true
+}
+
+// delay computes the backoff before retry attempt n (1-based):
+// base·2^(n-1), capped, shrunk by up to Jitter of itself from the
+// seeded stream.
+func (rt *retrier) delay(attempt int) time.Duration {
+	if rt == nil {
+		return 0
+	}
+	d := rt.base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= rt.cap || d < 0 {
+			d = rt.cap
+			break
+		}
+	}
+	if d > rt.cap {
+		d = rt.cap
+	}
+	if rt.rng != nil {
+		d = time.Duration(float64(d) * (1 - rt.policy.Jitter*rt.rng.Float64()))
+	}
+	return d
+}
+
+// park schedules a backed-off request for release at the given time.
+func (rt *retrier) park(r workload.Request, at time.Duration) {
+	rt.seq++
+	rt.delayed = append(rt.delayed, delayedRetry{at: at, seq: rt.seq, req: r})
+}
+
+// pending counts parked retries (the drain loops must not exit while
+// any remain).
+func (rt *retrier) pending() int {
+	if rt == nil {
+		return 0
+	}
+	return len(rt.delayed)
+}
+
+// nextRelease returns the earliest scheduled release time.
+func (rt *retrier) nextRelease() (time.Duration, bool) {
+	if rt == nil || len(rt.delayed) == 0 {
+		return 0, false
+	}
+	best := rt.delayed[0].at
+	for _, d := range rt.delayed[1:] {
+		if d.at < best {
+			best = d.at
+		}
+	}
+	return best, true
+}
+
+// takeDue removes and returns every parked retry due at or before now,
+// ordered by (release time, park order).
+func (rt *retrier) takeDue(now time.Duration) []workload.Request {
+	if rt == nil || len(rt.delayed) == 0 {
+		return nil
+	}
+	var due []delayedRetry
+	kept := rt.delayed[:0]
+	for _, d := range rt.delayed {
+		if d.at <= now {
+			due = append(due, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	rt.delayed = kept
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].at != due[j].at {
+			return due[i].at < due[j].at
+		}
+		return due[i].seq < due[j].seq
+	})
+	out := make([]workload.Request, len(due))
+	for i, d := range due {
+		out[i] = d.req
+	}
+	return out
+}
+
+// backoffWait reports the total backoff delay imposed.
+func (rt *retrier) backoffWait() time.Duration {
+	if rt == nil {
+		return 0
+	}
+	return rt.waited
+}
 
 // faultRun is the cluster-path fault controller: it owns the crash
 // schedule, the probe clock, the retry budget, the router-side pending
@@ -314,6 +477,7 @@ type faultRun struct {
 	fleet      *fleetState
 	router     Router
 	maxRetries int
+	retry      *retrier // nil: legacy immediate retries
 	crashes    []crashEvent
 	nextCrash  int
 	nextProbe  time.Duration
@@ -343,6 +507,9 @@ func newFaultRun(fleet *fleetState, router Router, plan *workload.FaultPlan, hea
 		crashes:    fleetCrashEvents(plan, ""),
 		nextProbe:  fleet.health.ProbeInterval,
 	}
+	if plan != nil {
+		fc.retry = newRetrier(plan.Retry)
+	}
 	return fc, nil
 }
 
@@ -369,6 +536,9 @@ func (fc *faultRun) next() (time.Duration, int, bool) {
 	if p := fc.nextProbe; !ok || p < at {
 		at, kind, ok = p, evProbe, true
 	}
+	if r, rok := fc.retry.nextRelease(); rok && (!ok || r < at) {
+		at, kind, ok = r, evRelease, true
+	}
 	return at, kind, ok
 }
 
@@ -383,14 +553,25 @@ func (fc *faultRun) fire(now time.Duration, kind int) error {
 	case evProbe:
 		lost = fc.fleet.probeAll(now)
 		fc.nextProbe += fc.fleet.health.ProbeInterval
+	case evRelease:
+		// Backed-off retries whose delay elapsed re-enter the router.
+		for _, r := range fc.retry.takeDue(now) {
+			fc.fleet.bal.Event(now, obs.EvRetry, r.ID, "")
+			if err := fc.place(r, now); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return fc.resubmit(lost, now)
 }
 
 // resubmit returns crash-lost work to the router: within the retry
-// budget it re-enqueues at now with an incremented retry count
-// (original submission time preserved for metrics); beyond it the
-// request is dropped with the crash-dropped rejection.
+// bound (and the fleet retry budget, when a RetryPolicy is set) it
+// re-enqueues with an incremented retry count — immediately under the
+// legacy discipline, after a jittered exponential backoff under a
+// policy (original submission time preserved for metrics). Beyond
+// either limit the request is dropped with the crash-dropped rejection.
 func (fc *faultRun) resubmit(lost []workload.Request, now time.Duration) error {
 	for _, r := range lost {
 		sub := r.SubmittedAt()
@@ -399,8 +580,19 @@ func (fc *faultRun) resubmit(lost []workload.Request, now time.Duration) error {
 			fc.fleet.bal.Event(now, obs.EvDrop, r.ID, "retry-budget")
 			continue
 		}
+		if !fc.retry.take() {
+			fc.dropped = append(fc.dropped, crashDroppedMetrics(r, ""))
+			fc.fleet.bal.Event(now, obs.EvDrop, r.ID, "retry-budget-exhausted")
+			continue
+		}
 		r.Retries++
 		r.Submitted = sub
+		if d := fc.retry.delay(r.Retries); d > 0 {
+			r.Arrival = now + d
+			fc.retry.waited += d
+			fc.retry.park(r, now+d)
+			continue
+		}
 		r.Arrival = now
 		fc.fleet.bal.Event(now, obs.EvRetry, r.ID, "")
 		if err := fc.place(r, now); err != nil {

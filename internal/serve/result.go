@@ -135,7 +135,12 @@ type Result struct {
 	// RejectedCrashDropped counts requests the fault controller dropped
 	// after losing them to crashes more than MaxRetries times.
 	RejectedCrashDropped int
-	Preemptions          int
+	// Shed counts requests cut by admission control before prefill (a
+	// subset of Rejected, reason "shed"); ShedTokens their total
+	// input+output tokens — capacity the shed freed for admitted work.
+	Shed        int
+	ShedTokens  int
+	Preemptions int
 	// SLOPreemptions counts evictions forced by at-risk TTFT deadlines
 	// (a subset of Preemptions).
 	SLOPreemptions int
@@ -151,6 +156,13 @@ type Result struct {
 	ReplicaCrashes int
 	Ejections      int
 	Readmissions   int
+	// Overload-tier accounting (all zero unless admission control,
+	// retry backoff, or breakers are enabled). BreakerOpens totals
+	// circuit-breaker open transitions (replica and region tracks);
+	// RetryBackoffWait sums the deliberate delay retries spent parked
+	// in backoff before re-entering the router.
+	BreakerOpens     int
+	RetryBackoffWait time.Duration
 
 	// Measured-cache accounting (all zero unless Config.PrefixCache is
 	// set on the engines). CacheHits+CacheMisses equals the number of
@@ -444,6 +456,9 @@ func buildResult(name string, metrics []RequestMetrics, engines []*Engine) *Resu
 				r.RejectedUnservable++
 			case RejectCrashDropped:
 				r.RejectedCrashDropped++
+			case RejectShed:
+				r.Shed++
+				r.ShedTokens += m.InputTokens + m.OutputTokens
 			}
 			continue
 		}

@@ -38,6 +38,11 @@ type ReplicaView struct {
 	Live         bool
 	LiveRequests int
 	LiveTokens   int
+	// BreakerOpen marks a replica whose circuit breaker is open: alive
+	// and routable, but drowning. Breaker-aware routers prefer other
+	// replicas and fall back to open ones only when every replica is
+	// open. Always false when breakers are disabled.
+	BreakerOpen bool
 }
 
 // Router places each arriving request on a replica. Route is called in
@@ -140,7 +145,23 @@ func (liveLeastLoaded) Route(_ workload.Request, replicas []ReplicaView) int {
 		}
 		return v.OutstandingTokens
 	}
-	best := 0
+	// Prefer replicas whose breaker allows traffic; when every breaker is
+	// open the request has to land somewhere, so fall back to all. With
+	// breakers disabled every view has BreakerOpen false and this is the
+	// legacy scan exactly.
+	best := -1
+	for i, v := range replicas {
+		if v.BreakerOpen {
+			continue
+		}
+		if best < 0 || load(v) < load(replicas[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best = 0
 	for i := 1; i < len(replicas); i++ {
 		if load(replicas[i]) < load(replicas[best]) {
 			best = i

@@ -9,6 +9,100 @@ import (
 // crash is re-submitted before it is dropped with a named rejection.
 const DefaultMaxRetries = 3
 
+// NoRetries is the explicit MaxRetries setting for "drop on first
+// loss": any negative value means zero retries, because the zero value
+// of FaultPlan.MaxRetries keeps meaning DefaultMaxRetries.
+const NoRetries = -1
+
+// Retry-discipline defaults (see RetryPolicy).
+const (
+	DefaultRetryBackoffBase = 250 * time.Millisecond
+	DefaultRetryBackoffCap  = 8 * time.Second
+	DefaultRetryBudgetBurst = 10
+)
+
+// RetryPolicy shapes how crash/outage-lost requests are re-submitted.
+// A nil policy keeps the legacy discipline — immediate re-arrival with
+// no budget — byte-identical. With a policy set, each retry waits an
+// exponentially growing backoff before re-entering the router, and an
+// optional fleet-level token bucket caps total retries to a fraction
+// of recent admissions (the anti-retry-storm budget).
+type RetryPolicy struct {
+	// BackoffBase is the delay before a request's first re-submission;
+	// each further retry of the same request doubles it. Zero means
+	// DefaultRetryBackoffBase.
+	BackoffBase time.Duration
+	// BackoffCap bounds the exponential growth. Zero means
+	// DefaultRetryBackoffCap.
+	BackoffCap time.Duration
+	// Jitter in [0, 1] spreads each delay uniformly over
+	// [delay*(1-Jitter), delay] from a deterministic seeded stream, so
+	// a mass crash's refugees de-synchronize instead of thundering back
+	// in one herd. Zero disables jitter.
+	Jitter float64
+	// Seed seeds the jitter stream; runs with equal seeds and equal
+	// fault timing replay identical delays.
+	Seed uint64
+	// BudgetRatio, when positive, enables the retry budget: every fresh
+	// admission adds Ratio tokens to a bucket and every retry spends
+	// one, so sustained retries cannot exceed Ratio of the admission
+	// rate (e.g. 0.1 = retries at most 10% of recent admissions). At an
+	// empty bucket the retry drops instead of re-submitting. Zero
+	// disables the budget.
+	BudgetRatio float64
+	// BudgetBurst is the bucket's capacity and starting level; zero
+	// means DefaultRetryBudgetBurst (only consulted when BudgetRatio is
+	// set).
+	BudgetBurst int
+}
+
+// Base returns the effective backoff base.
+func (r *RetryPolicy) Base() time.Duration {
+	if r == nil || r.BackoffBase == 0 {
+		return DefaultRetryBackoffBase
+	}
+	return r.BackoffBase
+}
+
+// Cap returns the effective backoff cap.
+func (r *RetryPolicy) Cap() time.Duration {
+	if r == nil || r.BackoffCap == 0 {
+		return DefaultRetryBackoffCap
+	}
+	return r.BackoffCap
+}
+
+// Burst returns the effective budget burst.
+func (r *RetryPolicy) Burst() int {
+	if r == nil || r.BudgetBurst == 0 {
+		return DefaultRetryBudgetBurst
+	}
+	return r.BudgetBurst
+}
+
+// Validate checks the policy's internal consistency.
+func (r *RetryPolicy) Validate() error {
+	if r == nil {
+		return nil
+	}
+	if r.BackoffBase < 0 || r.BackoffCap < 0 {
+		return fmt.Errorf("workload: retry backoff durations must be non-negative")
+	}
+	if base, cp := r.Base(), r.Cap(); cp < base {
+		return fmt.Errorf("workload: retry backoff cap %v below base %v", cp, base)
+	}
+	if r.Jitter < 0 || r.Jitter > 1 {
+		return fmt.Errorf("workload: retry jitter %.2f outside [0, 1]", r.Jitter)
+	}
+	if r.BudgetRatio < 0 {
+		return fmt.Errorf("workload: retry budget ratio %.2f is negative", r.BudgetRatio)
+	}
+	if r.BudgetBurst < 0 {
+		return fmt.Errorf("workload: retry budget burst %d is negative", r.BudgetBurst)
+	}
+	return nil
+}
+
 // ReplicaCrash kills one replica at time At. Everything in flight on
 // the replica — queued, running, and already-routed-but-unarrived
 // requests — is lost and re-enqueued at the origin router with an
@@ -54,8 +148,11 @@ type FaultPlan struct {
 	Outages  []RegionOutage
 	Degrades []Degrade
 	// MaxRetries bounds re-submission of crash-lost requests; zero
-	// means DefaultMaxRetries.
+	// means DefaultMaxRetries, negative (NoRetries) means none.
 	MaxRetries int
+	// Retry shapes re-submission timing and volume; nil keeps the
+	// legacy immediate-unbudgeted discipline.
+	Retry *RetryPolicy
 }
 
 // Empty reports whether the plan injects no faults at all.
@@ -63,10 +160,14 @@ func (p *FaultPlan) Empty() bool {
 	return p == nil || (len(p.Crashes) == 0 && len(p.Outages) == 0 && len(p.Degrades) == 0)
 }
 
-// Retries returns the effective retry bound.
+// Retries returns the effective retry bound: zero means
+// DefaultMaxRetries, negative (NoRetries) means no retries at all.
 func (p *FaultPlan) Retries() int {
-	if p == nil || p.MaxRetries <= 0 {
+	switch {
+	case p == nil || p.MaxRetries == 0:
 		return DefaultMaxRetries
+	case p.MaxRetries < 0:
+		return 0
 	}
 	return p.MaxRetries
 }
@@ -103,5 +204,5 @@ func (p *FaultPlan) Validate() error {
 			return fmt.Errorf("workload: degrade %d slowdown %.2f < 1", i, d.Slowdown)
 		}
 	}
-	return nil
+	return p.Retry.Validate()
 }
