@@ -13,9 +13,9 @@ FUZZTIME ?= 10s
 # margin absorbs counting noise, not deleted tests).
 COVERFLOOR ?= 86.0
 
-.PHONY: ci fmt vet test race bench bench-json trace-smoke chaos-smoke perfbench build docs fuzz fuzz-short cover
+.PHONY: ci fmt vet test race bench bench-json trace-smoke chaos-smoke cost-smoke perfbench build docs fuzz fuzz-short cover
 
-ci: fmt vet docs race bench bench-json trace-smoke chaos-smoke fuzz-short cover
+ci: fmt vet docs race bench bench-json trace-smoke chaos-smoke cost-smoke fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,25 @@ chaos-smoke:
 	echo "chaos-smoke: shed=$$shed retries=$$retries"; \
 	[ -n "$$shed" ] && [ "$$shed" != "0" ] || { echo "chaos-smoke: admission-control shed nothing"; exit 1; }; \
 	[ -n "$$retries" ] && [ "$$retries" != "0" ] || { echo "chaos-smoke: retry-storm caused no retries"; exit 1; }
+
+# Cost-tier smoke: run the two cloud-overflow scenarios at quick scale
+# through simctl -json, validate the emitted files, and assert the
+# economics actually flowed — the rent deployment pushed overflow to
+# the cloud tier and the ledger billed real dollars, and the buy hatch
+# offloaded doomed waiters. A cloud tier that silently never engages
+# would make every cost table a trivial zero column.
+cost-smoke:
+	@mkdir -p .cost-smoke
+	$(GO) run ./cmd/simctl run cost-tiered shed-spill-buy -quick -json -out .cost-smoke > /dev/null
+	$(GO) run ./cmd/jsonlint .cost-smoke/BENCH_cost-tiered.json .cost-smoke/BENCH_shed-spill-buy.json
+	@creq="$$(awk '/"rent-7"/{n=NR} n && NR==n+4 {gsub(/[", ]/,""); print; exit}' .cost-smoke/BENCH_cost-tiered.json)"; \
+	spend="$$(awk '/"rent-7"/{n=NR} n && NR==n+8 {gsub(/[", ]/,""); print; exit}' .cost-smoke/BENCH_cost-tiered.json)"; \
+	bought="$$(awk '/"buy"/{n=NR} n && NR==n+4 {gsub(/[", ]/,""); print; exit}' .cost-smoke/BENCH_shed-spill-buy.json)"; \
+	rm -rf .cost-smoke; \
+	echo "cost-smoke: cloudreq=$$creq total=$$spend bought=$$bought"; \
+	[ -n "$$creq" ] && [ "$$creq" != "0" ] || { echo "cost-smoke: cost-tiered overflow never reached the cloud"; exit 1; }; \
+	[ -n "$$spend" ] && [ "$$spend" != "0" ] || { echo "cost-smoke: cost-tiered billed zero total dollars"; exit 1; }; \
+	[ -n "$$bought" ] && [ "$$bought" != "0" ] || { echo "cost-smoke: shed-spill-buy bought no doomed waiters"; exit 1; }
 
 # Simulator-performance benchmarks (engine hot path, fleet stepping,
 # sweep fan-out) with allocation stats, repeated PERFCOUNT times so the

@@ -27,10 +27,12 @@ func TestAdmissionControlSheds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 3 {
-		t.Fatalf("%d rows, want 3 policies", len(tab.Rows))
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4 policies", len(tab.Rows))
 	}
 	// Columns: Policy, TTFT-SLO %, Served TTFT-SLO %, Shed, ...
+	// (shed-or-buy rides along: with no cloud tier attached it degrades
+	// to deadline-infeasible, so the shared assertions below cover it.)
 	noneServed := col(t, tab.Rows[0], 2)
 	if shed := col(t, tab.Rows[0], 3); shed != 0 {
 		t.Fatalf("none policy shed %.0f requests", shed)

@@ -326,7 +326,7 @@ func init() {
 		Name:    "admission-control",
 		Summary: "Admission policies under an overload burst: goodput and attainment vs shed fraction",
 		Params: []scenario.Param{{Name: "policies", Kind: scenario.Strings, Default: nil,
-			Help: "admission policies to sweep (subset of none,deadline-infeasible,projected-attainment; default all)"}},
+			Help: "admission policies to sweep (subset of none,deadline-infeasible,projected-attainment,shed-or-buy; default all)"}},
 		Run: one("admission-control", func(e Env, v scenario.Values) (*stats.Table, error) {
 			for _, p := range v.StringList("policies") {
 				if !slices.Contains(serve.AdmissionPolicyNames, p) {
@@ -350,6 +350,39 @@ func init() {
 				return nil, fmt.Errorf("recovery window %v must be positive", w)
 			}
 			return RetryStorm(e, v.StringList("modes"), v.Duration("window"))
+		}),
+	})
+	scenario.Register(scenario.Scenario{
+		Name:    "cost-tiered",
+		Summary: "Own the Nth replica vs rent cloud overflow: burst x price attainment-per-dollar",
+		Params: []scenario.Param{
+			{Name: "bursts", Kind: scenario.Floats, Default: nil,
+				Help: "burst multipliers over the calibrated overload burst (default 0.05,0.1,1,4; quick 0.1,1,4)"},
+			{Name: "prices", Kind: scenario.Floats, Default: nil,
+				Help: "cloud prices in $/Mtoken (default 1,20)"},
+			{Name: "fleet", Kind: scenario.Int, Default: 8,
+				Help: "owned fleet size; rent cells own one fewer plus the cloud"},
+			{Name: "replicahour", Kind: scenario.Float, Default: 3.0,
+				Help: "owned replica price in $/hour"},
+		},
+		Run: one("cost-tiered", func(e Env, v scenario.Values) (*stats.Table, error) {
+			return CostTiered(e, v.FloatList("bursts"), v.FloatList("prices"),
+				v.Int("fleet"), v.Float("replicahour"))
+		}),
+	})
+	scenario.Register(scenario.Scenario{
+		Name:    "shed-spill-buy",
+		Summary: "Overload escape hatches side by side: shed vs cloud spill vs shed-or-buy",
+		Params: []scenario.Param{
+			{Name: "modes", Kind: scenario.Strings, Default: nil,
+				Help: "escape hatches to sweep (subset of none,shed,spill,buy; default all)"},
+			{Name: "price", Kind: scenario.Float, Default: 20.0,
+				Help: "cloud price in $/Mtoken"},
+			{Name: "budget", Kind: scenario.Float, Default: 0.0,
+				Help: "cloud budget in dollars (0 = unlimited)"},
+		},
+		Run: one("shed-spill-buy", func(e Env, v scenario.Values) (*stats.Table, error) {
+			return ShedSpillBuy(e, v.StringList("modes"), v.Float("price"), v.Float("budget"))
 		}),
 	})
 	scenario.Register(scenario.Scenario{

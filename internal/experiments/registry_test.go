@@ -26,6 +26,7 @@ var goldenScenarios = []string{
 	"cache-measured",
 	"cluster-routing",
 	"clusterbench",
+	"cost-tiered",
 	"engine-hotpath",
 	"eq1",
 	"extension-ep",
@@ -48,6 +49,7 @@ var goldenScenarios = []string{
 	"outage-spillover",
 	"retry-storm",
 	"shared-cache-tier",
+	"shed-spill-buy",
 	"simbench",
 	"simulator-speed",
 	"table1",
@@ -127,15 +129,16 @@ var trajectoryKeyCols = map[string]int{
 	"geo-serving":     3, // Policy, Topology, ColdStart
 	"simulator-speed": 1, // Mode
 	"engine-hotpath":  1, // Scenario
+	"cost-tiered":     3, // Deployment, Burst x, $/Mtok
 }
 
 // TestBenchTrajectoryCompat pins the longitudinal perf trajectory: the
-// four suite scenarios regenerate the checked-in BENCH_<suite>.json
+// suite scenarios regenerate the checked-in BENCH_<suite>.json
 // files' section names, headers, and row keys exactly (values may move
 // only where measurement noise lives — wall clocks — or when seeds or
 // params change deliberately, which shows up here as a key diff).
 func TestBenchTrajectoryCompat(t *testing.T) {
-	for _, suite := range []string{"burstbench", "clusterbench", "geobench", "simbench"} {
+	for _, suite := range []string{"burstbench", "clusterbench", "cost-tiered", "geobench", "simbench"} {
 		suite := suite
 		t.Run(suite, func(t *testing.T) {
 			data, err := os.ReadFile("../../BENCH_" + suite + ".json")

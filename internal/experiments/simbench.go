@@ -97,11 +97,14 @@ func SimulatorSpeed(e Env, reps int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab := stats.NewTable("Mode", "Workers", "Cores", "Cells", "Wall ms",
+	tab := stats.NewTable("Mode", "Workers", "Cores", "CPUs", "Cells", "Wall ms",
 		"Sim s", "Sim-s/wall-s", "Speedup")
-	cores := runtime.GOMAXPROCS(0)
+	// Cores is the scheduler's parallelism budget (GOMAXPROCS), CPUs the
+	// machine's logical core count — recorded per row so a trajectory
+	// regression can be told apart from a box change.
+	cores, cpus := runtime.GOMAXPROCS(0), runtime.NumCPU()
 	row := func(mode string, w int, r simGridResult, speedup float64) {
-		tab.AddRow(mode, w, cores, r.Cells, float64(r.Wall)/float64(time.Millisecond),
+		tab.AddRow(mode, w, cores, cpus, r.Cells, float64(r.Wall)/float64(time.Millisecond),
 			r.SimSeconds, r.SimSeconds/r.Wall.Seconds(), speedup)
 	}
 	row("serial", 1, serial, 1)

@@ -142,7 +142,7 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 			openSpan(ev.Req, phaseQueue, ts, pid, tid)
 		case EvFinish:
 			closeSpan(ev.Req, ts)
-		case EvReject, EvDrop, EvLost, EvShed:
+		case EvReject, EvDrop, EvLost, EvShed, EvCloudRoute:
 			closeSpan(ev.Req, ts)
 			instant(ev, ts, pid, tid)
 		default:

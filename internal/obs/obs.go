@@ -88,6 +88,17 @@ const (
 	// EvBreakerClose: the half-open probes succeeded and the breaker
 	// closed.
 	EvBreakerClose
+	// EvCloudRoute: the balancer diverted the request to the elastic
+	// cloud backend, which accepted and priced it (Detail = the deciding
+	// policy: "overflow", "shed-or-buy", or "geo-overflow"). Terminal —
+	// the cloud never rejects work it accepted.
+	EvCloudRoute
+	// EvCloudThrottle: the cloud backend delayed or refused a dispatch
+	// (Detail = "rate" for a rate-limit/concurrency wait, "budget" for a
+	// MaxSpend refusal, "fail" for an injected transient failure).
+	// Non-terminal: the request proceeds delayed, locally, or into the
+	// retry queue.
+	EvCloudThrottle
 )
 
 // NoRequest is the Req value for fleet lifecycle events.
@@ -115,6 +126,8 @@ var kindNames = [...]string{
 	EvBreakerOpen:     "breaker-open",
 	EvBreakerHalfOpen: "breaker-half-open",
 	EvBreakerClose:    "breaker-close",
+	EvCloudRoute:      "cloud-route",
+	EvCloudThrottle:   "cloud-throttle",
 }
 
 func (k Kind) String() string {
@@ -130,7 +143,7 @@ func (k Kind) String() string {
 // once.
 func (k Kind) Terminal() bool {
 	switch k {
-	case EvFinish, EvReject, EvDrop, EvSharedHit, EvShed:
+	case EvFinish, EvReject, EvDrop, EvSharedHit, EvShed, EvCloudRoute:
 		return true
 	}
 	return false
@@ -210,6 +223,12 @@ type Sample struct {
 	// those states after the tick (zero without a breaker config).
 	BreakersOpen     int `json:"breakersOpen"`
 	BreakersHalfOpen int `json:"breakersHalfOpen"`
+
+	// CloudRequests counts requests the elastic cloud backend served in
+	// the window since the previous sample; CloudSpend is the cumulative
+	// dollars bought so far. Both zero without a cloud tier.
+	CloudRequests int     `json:"cloudRequests"`
+	CloudSpend    float64 `json:"cloudSpend"`
 
 	// Classes is the per-class rolling attainment since the previous
 	// sample, sorted by class name.

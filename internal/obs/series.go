@@ -22,6 +22,7 @@ var seriesColumns = []string{
 	"t_ms", "track", "desired", "active", "warming", "draining",
 	"down", "ejected", "queued", "running", "kv_util", "cache_hit_rate",
 	"shed_rate", "breakers_open", "breakers_half_open",
+	"cloud_requests", "cloud_spend",
 }
 
 // WriteSeriesCSV renders every sample as one CSV row. Class columns
@@ -61,6 +62,8 @@ func (o *Observer) WriteSeriesCSV(w io.Writer) error {
 			strconv.FormatFloat(s.CacheHitRate, 'f', 4, 64),
 			strconv.FormatFloat(s.ShedRate, 'f', 4, 64),
 			strconv.Itoa(s.BreakersOpen), strconv.Itoa(s.BreakersHalfOpen),
+			strconv.Itoa(s.CloudRequests),
+			strconv.FormatFloat(s.CloudSpend, 'f', 6, 64),
 		}
 		byClass := map[string]ClassAttainment{}
 		for _, c := range s.Classes {

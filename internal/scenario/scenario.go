@@ -205,7 +205,8 @@ func (s Scenario) Parse(raw map[string]string) (Values, error) {
 			}
 			v, err := parseValue(p.Kind, text)
 			if err != nil {
-				return nil, fmt.Errorf("scenario %s: param %s=%q: %w", s.Name, key, text, err)
+				return nil, fmt.Errorf("scenario %s: param %s=%q (want %s): %w",
+					s.Name, key, text, p.Kind, err)
 			}
 			vals[key] = v
 		}

@@ -135,14 +135,25 @@ func TestParseRejectsBadInput(t *testing.T) {
 		!strings.Contains(err.Error(), "unknown param") {
 		t.Fatalf("unknown param not rejected: %v", err)
 	}
+	// Malformed values name the scenario, the offending param with its
+	// text, and the kind it should have parsed as — the operator fixing
+	// a -p flag sees what was expected, not just what failed.
 	if _, err := s.Parse(map[string]string{"reps": "many"}); err == nil {
 		t.Fatal("bad int accepted")
+	} else if msg := err.Error(); !strings.Contains(msg, "scenario test-parse-bad") ||
+		!strings.Contains(msg, `reps="many"`) || !strings.Contains(msg, "want int") {
+		t.Fatalf("bad-int error missing scenario/param/kind: %q", msg)
 	}
 	if _, err := s.Parse(map[string]string{"coldstarts": "15s,,60s"}); err == nil {
 		t.Fatal("empty list element accepted")
+	} else if msg := err.Error(); !strings.Contains(msg, "want duration,...") {
+		t.Fatalf("empty-element error missing list kind: %q", msg)
 	}
 	if _, err := s.Parse(map[string]string{"coldstarts": "15s,soon"}); err == nil {
 		t.Fatal("bad duration element accepted")
+	} else if msg := err.Error(); !strings.Contains(msg, `coldstarts="15s,soon"`) ||
+		!strings.Contains(msg, "want duration,...") {
+		t.Fatalf("bad-duration error missing param/kind: %q", msg)
 	}
 }
 

@@ -407,6 +407,18 @@ type fleetState struct {
 	// legacy routing path byte-for-byte).
 	breakers *BreakerConfig
 
+	// cloud is the attached elastic backend (nil: off). fcRef points at
+	// the fault controller when one runs, so a transient cloud routing
+	// failure re-enters its retry backoff queue instead of falling back
+	// to local placement. buyStage makes spawned engines stage
+	// shed-or-buy waiters even when the tier itself lives a level up
+	// (the geo tier shares one tier across regions and drains it
+	// serially itself). lastCloudReqs is obsSample's window cursor.
+	cloud         *cloudTier
+	fcRef         *faultRun
+	buyStage      bool
+	lastCloudReqs int
+
 	// Observability (nil/inert unless the run sets an Observer). bal is
 	// the fleet's balancer track; obsRegion labels replica tracks (the
 	// region name on the geo tier, "" otherwise); clsReq/clsMet roll up
@@ -447,6 +459,7 @@ func (f *fleetState) spawn(cfg Config, at, cold time.Duration) error {
 	if f.obs != nil {
 		e.attachStream(f.obs.Stream(f.obsRegion, cfg.Name))
 	}
+	e.buyDivert = f.cloud != nil || f.buyStage
 	// The engine's clock starts at readiness so a spawned replica cannot
 	// serve a token before its warmup elapses.
 	e.now = at + cold
@@ -621,6 +634,22 @@ func (f *fleetState) route(router Router, r workload.Request, now time.Duration)
 			BreakerOpen:         !f.breakerAllow(rep, now),
 		})
 		targets = append(targets, rep)
+	}
+	if f.cloud != nil {
+		if ca, ok := router.(CloudAwareRouter); ok && ca.RouteCloud(r, views, f.cloud.view(now)) {
+			switch f.cloud.offer(r, now, "overflow") {
+			case cloudAccepted:
+				return nil
+			case cloudFailed:
+				if f.fcRef != nil {
+					// Transient cloud failure under fault injection: the
+					// request re-enters the retry backoff queue like any
+					// crash-lost work.
+					return f.fcRef.resubmit([]workload.Request{r}, now)
+				}
+				// No retry machinery: fall through to local placement.
+			}
+		}
 	}
 	i := router.Route(r, views)
 	if i < 0 || i >= len(targets) {
@@ -830,6 +859,11 @@ func (f *fleetState) obsSample(now time.Duration, desired int, v FleetView) {
 	if v.WindowOutcomes > 0 {
 		smp.ShedRate = float64(v.WindowShed) / float64(v.WindowOutcomes)
 	}
+	if f.cloud != nil {
+		smp.CloudRequests = f.cloud.requests - f.lastCloudReqs
+		f.lastCloudReqs = f.cloud.requests
+		smp.CloudSpend = f.cloud.spend
+	}
 	classes := make([]string, 0, len(f.clsReq))
 	for c := range f.clsReq {
 		classes = append(classes, c)
@@ -843,6 +877,39 @@ func (f *fleetState) obsSample(now time.Duration, desired int, v FleetView) {
 	clear(f.clsReq)
 	clear(f.clsMet)
 	f.obs.Sample(smp)
+}
+
+// drainStagedCloud offers every staged shed-or-buy waiter to the
+// shared cloud tier and restores refusals to the normal shed path,
+// keeping the live-load router views honest (a staged waiter left
+// undrained would sit on its replica's live counters as phantom
+// backlog). Must run at serial controller points — right after each
+// advance barrier and once more before metrics collection.
+func (f *fleetState) drainStagedCloud() {
+	if f.cloud == nil {
+		return
+	}
+	staged := false
+	for _, rep := range f.replicas {
+		if len(rep.engine.cloudShed) > 0 {
+			staged = true
+			break
+		}
+	}
+	if !staged {
+		return
+	}
+	engines := make([]*Engine, len(f.replicas))
+	byEngine := make(map[*Engine]*replica, len(f.replicas))
+	for i, rep := range f.replicas {
+		engines[i] = rep.engine
+		byEngine[rep.engine] = rep
+	}
+	drainCloudShed(engines, f.cloud, func(e *Engine, s *seq) {
+		rep := byEngine[e]
+		rep.liveTokens -= s.req.TotalTokens()
+		rep.liveReqs--
+	})
 }
 
 // breakerOpens sums lifetime open transitions across the fleet.
@@ -965,6 +1032,9 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 	if err := c.SharedCache.validate(); err != nil {
 		return nil, err
 	}
+	if err := c.Cloud.validate(); err != nil {
+		return nil, err
+	}
 	shared := newSharedTier(c.SharedCache)
 	router := c.Router
 	if router == nil {
@@ -985,6 +1055,9 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		workers: conc.Workers(c.Parallelism), breakers: c.Breakers,
 	}
 	fleet.observe(c.Obs, "", "balancer")
+	// Track order matches the plain path: balancer, cloud, replicas.
+	fleet.cloud = newCloudTier(c.Cloud)
+	fleet.cloud.observe(c.Obs, "")
 	var fc *faultRun
 	if c.Faults != nil || c.Health != nil {
 		// Wire the fault controller before the initial spawns so degrade
@@ -993,6 +1066,7 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		if fc, err = newFaultRun(fleet, router, c.Faults, c.Health); err != nil {
 			return nil, err
 		}
+		fleet.fcRef = fc
 	}
 	for _, cfg := range c.Configs {
 		// The initial fleet is pre-provisioned: ready at time zero.
@@ -1039,11 +1113,13 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 				break
 			}
 			fleet.advance(at, false)
+			fleet.drainStagedCloud()
 			if err := handle(at, kind); err != nil {
 				return nil, err
 			}
 		}
 		fleet.advance(r.Arrival, false)
+		fleet.drainStagedCloud()
 		if fc != nil {
 			if err := fc.flush(r.Arrival); err != nil {
 				return nil, err
@@ -1079,6 +1155,7 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		(fc != nil && fc.retry.pending() > 0) {
 		at, kind := nextEvent()
 		fleet.advance(at, true)
+		fleet.drainStagedCloud()
 		if fleet.allDone() && len(fleet.pending) == 0 &&
 			(fc == nil || fc.retry.pending() == 0) {
 			break
@@ -1088,6 +1165,10 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		}
 	}
 
+	// Any shed-or-buy waiters staged by the engines' final steps get
+	// their cloud offer before metrics collection, so refused waiters'
+	// shed rows exist when the engines are swept below.
+	fleet.drainStagedCloud()
 	var metrics []RequestMetrics
 	var engines []*Engine
 	for _, rep := range fleet.replicas {
@@ -1098,9 +1179,11 @@ func (c Cluster) runAutoscaled(t *workload.Trace) (*Result, error) {
 		metrics = append(metrics, fc.dropped...)
 	}
 	metrics = append(metrics, shared.metricsList()...)
+	metrics = append(metrics, fleet.cloud.metricsList()...)
 	res := buildResult(c.Name, metrics, engines)
 	shared.fill(res)
 	fleet.finish(res)
+	fleet.cloud.fill(res)
 	res.ReplicaCrashes = fleet.crashCount
 	res.Ejections = fleet.ejections
 	res.Readmissions = fleet.readmissions

@@ -61,6 +61,13 @@ type Cluster struct {
 	// any engine sees them; see SharedCacheConfig. Works on both the
 	// plain and the autoscaled/fault paths.
 	SharedCache *SharedCacheConfig
+	// Cloud, when set, attaches the elastic pay-per-token backend (see
+	// CloudConfig): cloud-aware routers can overflow to it, the
+	// shed-or-buy admission policy offers doomed waiters to it, and the
+	// Result carries the owned-vs-rented dollar ledger. nil keeps every
+	// legacy path byte-identical. Works on both the plain and the
+	// autoscaled/fault paths.
+	Cloud *CloudConfig
 	// Parallelism bounds the worker pool that steps independent
 	// (non-lockstep) replicas concurrently: 0 uses GOMAXPROCS, 1 forces
 	// the serial path. Every setting produces byte-identical Results —
@@ -114,9 +121,15 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 	if err := c.SharedCache.validate(); err != nil {
 		return nil, err
 	}
-	// Track registration order: balancer first, then replicas in index
-	// order (all serial, so exports are worker-count independent).
+	if err := c.Cloud.validate(); err != nil {
+		return nil, err
+	}
+	// Track registration order: balancer first, then the cloud tier (if
+	// attached), then replicas in index order (all serial, so exports
+	// are worker-count independent).
 	bal := c.Obs.Stream("", "balancer")
+	cloud := newCloudTier(c.Cloud)
+	cloud.observe(c.Obs, "")
 	engines := make([]*Engine, len(c.Configs))
 	for i, cfg := range c.Configs {
 		e, err := NewEngine(cfg)
@@ -125,11 +138,12 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 		}
 		e.setRecordIters(c.RecordEvents)
 		e.attachStream(c.Obs.Stream("", cfg.Name))
+		e.buyDivert = cloud != nil
 		engines[i] = e
 	}
 
 	shared := newSharedTier(c.SharedCache)
-	assigned, err := routeTrace(c.Router, t, c.Configs, engines, shared, bal)
+	assigned, err := routeTrace(c.Router, t, c.Configs, engines, shared, cloud, bal)
 	if err != nil {
 		return nil, err
 	}
@@ -149,9 +163,21 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 			metrics = append(metrics, share...)
 		}
 	}
+	if cloud != nil {
+		// Shed-or-buy waiters staged while the engines ran are offered
+		// to the cloud now (serial, globally ordered by shed time), then
+		// metrics are re-collected so refused waiters' shed rows appear.
+		drainCloudShed(engines, cloud, nil)
+		metrics = nil
+		for i, e := range engines {
+			metrics = append(metrics, e.metrics(assigned[i])...)
+		}
+	}
 	metrics = append(metrics, shared.metricsList()...)
+	metrics = append(metrics, cloud.metricsList()...)
 	res := buildResult(c.Name, metrics, engines)
 	shared.fill(res)
+	cloud.fill(res)
 	return res, nil
 }
 
@@ -159,14 +185,19 @@ func (c Cluster) Run(t *workload.Trace) (*Result, error) {
 // (conservation: the shares partition the trace), updating the router's
 // view of outstanding work after each placement. A non-nil shared tier
 // intercepts repeated prompts before they reach the router — shared-hit
-// requests are answered at the balancer and appear in no share.
-func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engine, shared *sharedTier, bal *obs.Stream) ([][]workload.Request, error) {
+// requests are answered at the balancer and appear in no share. A
+// non-nil cloud tier is consulted next when the router is cloud-aware:
+// requests the cloud accepts appear in no share either (a refused or
+// transiently failed dispatch falls through to local routing — the
+// plain path has no retry queue).
+func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engine, shared *sharedTier, cloud *cloudTier, bal *obs.Stream) ([][]workload.Request, error) {
 	if router == nil {
 		router = NewLeastOutstandingRouter()
 	}
 	if r, ok := router.(resettable); ok {
 		r.reset()
 	}
+	ca, cloudAware := router.(CloudAwareRouter)
 	views := make([]ReplicaView, len(engines))
 	for i, e := range engines {
 		views[i] = ReplicaView{
@@ -181,6 +212,11 @@ func routeTrace(router Router, t *workload.Trace, cfgs []Config, engines []*Engi
 		if shared.intercept(r) {
 			bal.Event(r.Arrival, obs.EvSharedHit, r.ID, "")
 			continue
+		}
+		if cloud != nil && cloudAware && ca.RouteCloud(r, views, cloud.view(r.Arrival)) {
+			if cloud.offer(r, r.Arrival, "overflow") == cloudAccepted {
+				continue
+			}
 		}
 		i := router.Route(r, views)
 		if i < 0 || i >= len(engines) {

@@ -92,10 +92,16 @@ const (
 	// recovers past Relax — so isolated stragglers survive but a
 	// drowning queue is cut back to servable load.
 	AdmissionProjected = "projected-attainment"
+	// AdmissionShedOrBuy judges waiters like AdmissionDeadline, but when
+	// the cluster/geo has a cloud tier attached the doomed waiters are
+	// offered to the elastic backend (bought, within MaxSpend) instead of
+	// rejected; refusals and cloud failures shed normally. Without a
+	// cloud tier it degrades to AdmissionDeadline exactly.
+	AdmissionShedOrBuy = "shed-or-buy"
 )
 
 // AdmissionPolicyNames lists the admission policies in sweep order.
-var AdmissionPolicyNames = []string{AdmissionNone, AdmissionDeadline, AdmissionProjected}
+var AdmissionPolicyNames = []string{AdmissionNone, AdmissionDeadline, AdmissionProjected, AdmissionShedOrBuy}
 
 // Projected-attainment hysteresis defaults.
 const (
@@ -135,7 +141,7 @@ func (a *AdmissionConfig) validate() error {
 		return nil
 	}
 	switch a.Policy {
-	case "", AdmissionNone, AdmissionDeadline, AdmissionProjected:
+	case "", AdmissionNone, AdmissionDeadline, AdmissionProjected, AdmissionShedOrBuy:
 	default:
 		return fmt.Errorf("serve: unknown admission policy %q (want one of %v)", a.Policy, AdmissionPolicyNames)
 	}
@@ -380,6 +386,14 @@ type Engine struct {
 	shed       int
 	shedTokens int
 	shedFlags  []bool
+
+	// Shed-or-buy staging (empty unless the cluster/geo attached a cloud
+	// tier — buyDivert — and the policy is AdmissionShedOrBuy): waiters
+	// the shed pass pulled from the queue, parked for a serial cloud
+	// offer instead of immediate rejection. The owning run drains the
+	// staging via takeCloudShed before collecting metrics.
+	buyDivert bool
+	cloudShed []cloudShedEntry
 }
 
 // IterEvent records one engine iteration for time-series plots (Fig 7).
@@ -813,7 +827,7 @@ func (e *Engine) shedPass() {
 	e.shedFlags = flags
 	shed := false
 	switch st.cfg.Policy {
-	case AdmissionDeadline:
+	case AdmissionDeadline, AdmissionShedOrBuy:
 		shed = true
 	case AdmissionProjected:
 		att := 1.0
@@ -834,6 +848,7 @@ func (e *Engine) shedPass() {
 	}
 	// Walk the live queue with a write index so sheds land in queue
 	// order; flags[i] corresponds to the original queue position i.
+	divert := st.cfg.Policy == AdmissionShedOrBuy && e.buyDivert
 	j := 0
 	for i := range flags {
 		if !flags[i] {
@@ -841,13 +856,39 @@ func (e *Engine) shedPass() {
 			continue
 		}
 		s := e.waiting.at(j)
+		e.waiting.removeAt(j)
+		if divert {
+			// Stage for the cloud offer; shed accounting happens only if
+			// the cloud refuses (refuseCloudShed).
+			e.cloudShed = append(e.cloudShed, cloudShedEntry{s: s, at: e.now})
+			continue
+		}
 		s.rejectReason = RejectShed
 		e.rejected = append(e.rejected, s)
-		e.waiting.removeAt(j)
 		e.shed++
 		e.shedTokens += s.req.TotalTokens()
 		e.tap.event(e.now, obs.EvShed, s.req.ID, string(RejectShed))
 	}
+}
+
+// takeCloudShed returns and clears the engine's staged shed-or-buy
+// waiters (always empty unless buyDivert was set by a cloud-attached
+// run).
+func (e *Engine) takeCloudShed() []cloudShedEntry {
+	s := e.cloudShed
+	e.cloudShed = nil
+	return s
+}
+
+// refuseCloudShed restores the normal shed outcome for a staged waiter
+// the cloud refused: the request is rejected with RejectShed exactly as
+// if it had never been staged.
+func (e *Engine) refuseCloudShed(s *seq, at time.Duration) {
+	s.rejectReason = RejectShed
+	e.rejected = append(e.rejected, s)
+	e.shed++
+	e.shedTokens += s.req.TotalTokens()
+	e.tap.event(at, obs.EvShed, s.req.ID, string(RejectShed))
 }
 
 // preemptAt applies vLLM's recompute preemption to running[i]: the

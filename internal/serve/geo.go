@@ -303,16 +303,38 @@ func (s *SpillOverRouter) wait(v RegionView) float64 {
 // breakers disabled every view has BreakerOpen false and the first
 // pass is the legacy scan exactly.
 func (s *SpillOverRouter) Route(_ workload.Request, origin int, regions []RegionView) int {
-	if i := s.pick(origin, regions, false); i >= 0 {
+	if i, _ := s.pick(origin, regions, false); i >= 0 {
 		return i
 	}
-	if i := s.pick(origin, regions, true); i >= 0 {
+	if i, _ := s.pick(origin, regions, true); i >= 0 {
 		return i
 	}
 	return origin
 }
 
-func (s *SpillOverRouter) pick(origin int, regions []RegionView, ignoreBreakers bool) int {
+// RouteCloud implements CloudAwareGeoRouter, extending the spill-over
+// break-even with the third option: when even the best region's
+// projected cost (local wait plus cold-start penalty, or RTT plus
+// remote wait) exceeds the cloud's projected first-token latency — and
+// budget remains — the request is bought instead of spilled.
+func (s *SpillOverRouter) RouteCloud(_ workload.Request, origin int, regions []RegionView, cloud CloudView) bool {
+	if cloud.BudgetExhausted {
+		return false
+	}
+	best, cost := s.pick(origin, regions, false)
+	if best < 0 {
+		best, cost = s.pick(origin, regions, true)
+	}
+	if best < 0 {
+		// Every region dark or open: the cloud is the escape hatch.
+		return true
+	}
+	return cost > cloud.Latency().Seconds()
+}
+
+// pick returns the cheapest candidate region and its projected cost in
+// seconds (-1 when no candidate is routable).
+func (s *SpillOverRouter) pick(origin int, regions []RegionView, ignoreBreakers bool) (int, float64) {
 	local := regions[origin]
 	localCost := s.wait(local)
 	active := local.Active
@@ -340,7 +362,7 @@ func (s *SpillOverRouter) pick(origin int, regions []RegionView, ignoreBreakers 
 			best, bestCost = i, c
 		}
 	}
-	return best
+	return best, bestCost
 }
 
 // builtinGeoRouters is the single registry GeoRouterNames and
@@ -406,6 +428,14 @@ type Geo struct {
 	// before region placement; hits are billed to the request's origin
 	// region with no RTT. See SharedCacheConfig.
 	SharedCache *SharedCacheConfig
+	// Cloud, when set, attaches one elastic pay-per-token backend shared
+	// by every region (see CloudConfig): cloud-aware geo routers
+	// (spill-over) can buy overflow instead of spilling, the shed-or-buy
+	// admission policy offers doomed waiters to it, and cloud-served
+	// requests bill to their origin region with no RTT. Transient cloud
+	// failures fall back to regional routing (the geo retry queue serves
+	// crash recovery only). nil keeps every legacy path byte-identical.
+	Cloud *CloudConfig
 	// RecordEvents enables per-iteration event capture on every engine.
 	//
 	// Deprecated: this predates the obs layer and survives as a thin
@@ -682,11 +712,17 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 	if err := g.SharedCache.validate(); err != nil {
 		return nil, err
 	}
+	if err := g.Cloud.validate(); err != nil {
+		return nil, err
+	}
 	shared := newSharedTier(g.SharedCache)
-	// Track registration order: the geo balancer first, then each
-	// region's balancer and replicas in topology order (all serial, so
-	// exports are worker-count independent).
+	// Track registration order: the geo balancer first, then the cloud
+	// tier (if attached), then each region's balancer and replicas in
+	// topology order (all serial, so exports are worker-count
+	// independent).
 	geoBal := g.Obs.Stream("geo", "geo-balancer")
+	cloud := newCloudTier(g.Cloud)
+	cloud.observe(g.Obs, "geo")
 
 	// Fault wiring: resolve the plan's region scopes (empty names the
 	// home region, topology index 0) and build the cross-region crash
@@ -780,6 +816,10 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		fleet := &fleetState{
 			ac: ac, name: name, recordEvents: g.RecordEvents,
 			workers: conc.Workers(g.Parallelism), breakers: g.Breakers,
+			// The tier itself lives at the geo level (shared across
+			// regions, drained serially by the geo loop); buyStage makes
+			// spawned engines stage shed-or-buy waiters for it.
+			buyStage: cloud != nil,
 		}
 		fleet.observe(g.Obs, name, "balancer")
 		if faultsOn {
@@ -811,6 +851,43 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 
 	workers := conc.Workers(g.Parallelism)
 
+	// drainBuys offers every region's staged shed-or-buy waiters to the
+	// shared cloud tier, in one global (shed time, request ID) order so
+	// the outcome is independent of region stepping interleave. Must run
+	// at serial points right after each advance barrier — before any
+	// crash handling, whose clearLive would orphan the staged entries'
+	// live-load accounting — and once more before result assembly.
+	drainBuys := func() {
+		if cloud == nil {
+			return
+		}
+		staged := false
+		for _, rr := range runs {
+			for _, rep := range rr.fleet.replicas {
+				if len(rep.engine.cloudShed) > 0 {
+					staged = true
+					break
+				}
+			}
+		}
+		if !staged {
+			return
+		}
+		var engines []*Engine
+		byEngine := map[*Engine]*replica{}
+		for _, rr := range runs {
+			for _, rep := range rr.fleet.replicas {
+				engines = append(engines, rep.engine)
+				byEngine[rep.engine] = rep
+			}
+		}
+		drainCloudShed(engines, cloud, func(e *Engine, s *seq) {
+			rep := byEngine[e]
+			rep.liveTokens -= s.req.TotalTokens()
+			rep.liveReqs--
+		})
+	}
+
 	// place routes one request through the geo tier at now: regional
 	// views (with the origin's RTT row), the geo router, then the chosen
 	// region's local router. During a full multi-region outage the
@@ -835,6 +912,16 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		if gf != nil && !anyUp {
 			gf.pending = append(gf.pending, r)
 			return nil
+		}
+		if cloud != nil {
+			if ca, ok := router.(CloudAwareGeoRouter); ok && ca.RouteCloud(r, origin, views, cloud.view(now)) {
+				if cloud.offer(r, now, "geo-overflow") == cloudAccepted {
+					return nil
+				}
+				// Refused or transiently failed: fall through to regional
+				// placement (the geo retry queue serves crash recovery
+				// only).
+			}
 		}
 		gi := router.Route(r, origin, views)
 		if gi < 0 || gi >= len(runs) {
@@ -884,6 +971,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			runs[i].accrue(now)
 			runs[i].fleet.advance(now, final)
 		})
+		drainBuys()
 		var lost []workload.Request
 		switch kind {
 		case evCrash:
@@ -966,6 +1054,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 		at := rr.nextEval
 		rr.accrue(at)
 		rr.fleet.advance(at, final)
+		drainBuys()
 		if !final || !rr.fleet.allDone() {
 			if err := rr.fleet.evaluate(at); err != nil {
 				return false, err
@@ -994,6 +1083,7 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			runs[i].accrue(r.Arrival)
 			runs[i].fleet.advance(r.Arrival, false)
 		})
+		drainBuys()
 		if err := flush(r.Arrival); err != nil {
 			return nil, err
 		}
@@ -1038,8 +1128,11 @@ func (g Geo) Run(t *workload.Trace) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Waiters staged by the regions' final steps get their cloud offer
+	// before metrics collection.
+	drainBuys()
 
-	return g.buildGeoResult(runs, gf, shared)
+	return g.buildGeoResult(runs, gf, shared, cloud)
 }
 
 // noHorizon is an unreachable event horizon: drain-phase ticks always
@@ -1050,7 +1143,7 @@ const noHorizon = time.Duration(1<<63 - 1)
 // the inter-region RTT to remotely served requests, and assembles the
 // global plus per-region accounting — including, under fault
 // injection, the crash-dropped records and recovery counters.
-func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults, shared *sharedTier) (*Result, error) {
+func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults, shared *sharedTier, cloud *cloudTier) (*Result, error) {
 	var metrics []RequestMetrics
 	var engines []*Engine
 	for gi, rr := range runs {
@@ -1091,6 +1184,18 @@ func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults, shared *sharedTier
 	// Shared-tier hits were answered at the origin region's balancer: no
 	// engine, no RTT; RegionStats bills them as served in their origin.
 	for _, m := range shared.metricsList() {
+		origin, err := originOfName(g.Topology, m.Origin)
+		if err != nil {
+			return nil, err
+		}
+		m.Origin = g.Topology.Regions[origin]
+		m.Region = m.Origin
+		metrics = append(metrics, m)
+	}
+	// Cloud-served requests left the geo tier at the origin region's
+	// balancer: like shared-tier hits, no engine and no RTT, billed to
+	// their origin.
+	for _, m := range cloud.metricsList() {
 		origin, err := originOfName(g.Topology, m.Origin)
 		if err != nil {
 			return nil, err
@@ -1141,6 +1246,12 @@ func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults, shared *sharedTier
 		res.RegionStats[o].OriginRequests++
 		st := &res.RegionStats[s]
 		st.ServedRequests++
+		if m.Replica == CloudReplica {
+			tok := m.InputTokens + m.OutputTokens
+			st.CloudRequests++
+			st.CloudTokens += tok
+			st.CloudSpend += cloud.cfg.PricePerMToken * float64(tok) / 1e6
+		}
 		if o != s {
 			st.SpillIn++
 			res.RegionStats[o].SpillOut++
@@ -1164,6 +1275,9 @@ func (g Geo) buildGeoResult(runs []*regionRun, gf *geoFaults, shared *sharedTier
 			}
 		}
 	}
+	// Fill after the per-region loop: ReplicaSeconds is final only once
+	// every region's lifetimes have been accrued above.
+	cloud.fill(res)
 	return res, nil
 }
 

@@ -185,6 +185,22 @@ type Result struct {
 	SharedMisses    int
 	SharedEvictions int
 
+	// Cloud-tier accounting (all zero unless Cloud is set on the cluster
+	// or geo). CloudRequests/CloudTokens count work the elastic backend
+	// served (their PerRequest rows carry Replica == CloudReplica and
+	// never reached an engine); CloudSpend is their price at
+	// PricePerMToken; CloudThrottled counts dispatches the tier delayed
+	// or refused (rate, budget, or injected failure). OwnedSpend prices
+	// the owned fleet (ReplicaSeconds at DollarsPerReplicaHour) and
+	// TotalSpend = OwnedSpend + CloudSpend — the two sides of the
+	// own-vs-rent ledger.
+	CloudRequests  int
+	CloudTokens    int
+	CloudSpend     float64
+	CloudThrottled int
+	OwnedSpend     float64
+	TotalSpend     float64
+
 	// SLOByClass aggregates deadline attainment per request class, for
 	// the classes that carried an SLO.
 	SLOByClass map[string]*SLOAttainment
@@ -265,6 +281,11 @@ type RegionStats struct {
 	ScaleUps       int
 	ScaleDowns     int
 	FleetSamples   []FleetSample
+	// Cloud split: overflow bought on behalf of this region's arrivals
+	// (cloud rows bill to their origin region, like shared-cache hits).
+	CloudRequests int
+	CloudTokens   int
+	CloudSpend    float64
 }
 
 // Spilled sums the requests a geo run served outside their origin region
@@ -396,14 +417,18 @@ func (r *Result) PeakFleet() int {
 	return peak
 }
 
-// CostPerMToken converts replica-seconds into dollars per million served
+// CostPerMToken converts the run's dollars into price per million served
 // tokens at the given hourly per-replica price — the cost axis of the
-// provisioning-vs-attainment trade-off.
+// provisioning-vs-attainment trade-off. With a cloud tier active the
+// numerator is the full ledger (owned replica-seconds plus CloudSpend,
+// over all served tokens including cloud-served ones); without one
+// CloudSpend is zero and the value reduces exactly to the legacy
+// replica-seconds-only formula documented in ARCHITECTURE.md.
 func (r *Result) CostPerMToken(dollarsPerReplicaHour float64) float64 {
 	if r.TotalTokens == 0 {
 		return 0
 	}
-	return dollarsPerReplicaHour / 3600 * r.ReplicaSeconds / float64(r.TotalTokens) * 1e6
+	return (dollarsPerReplicaHour/3600*r.ReplicaSeconds + r.CloudSpend) / float64(r.TotalTokens) * 1e6
 }
 
 // ThroughputSeries buckets served tokens over time (Figure 7 bottom).

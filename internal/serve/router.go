@@ -308,7 +308,14 @@ var RouterNames = func() []string {
 }()
 
 // NewRouter returns a fresh instance of a built-in policy by name.
+// "cloud-overflow" also resolves here but stays out of RouterNames: it
+// only differs from its inner policy when a cloud tier is attached, so
+// sweeps over RouterNames on cloudless fleets would just duplicate
+// live-least-loaded rows.
 func NewRouter(name string) (Router, error) {
+	if name == "cloud-overflow" {
+		return NewCloudOverflowRouter(), nil
+	}
 	for _, r := range builtinRouters {
 		if r.name == name {
 			return r.make(), nil

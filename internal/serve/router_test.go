@@ -44,7 +44,7 @@ func routeWith(t *testing.T, r Router, cfg Config, n int, tr *workload.Trace) []
 		cfgs[i].Name = fmt.Sprintf("r%d", i)
 		engines[i] = mustEngine(t, cfgs[i])
 	}
-	assigned, err := routeTrace(r, tr, cfgs, engines, nil, nil)
+	assigned, err := routeTrace(r, tr, cfgs, engines, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestJoinShortestKVHeterogeneous(t *testing.T) {
 		t.Fatalf("test premise broken: big replica KV %d <= small %d",
 			engines[2].KVCapacityTokens(), engines[0].KVCapacityTokens())
 	}
-	assigned, err := routeTrace(cl.Router, tr, cl.Configs, engines, nil, nil)
+	assigned, err := routeTrace(cl.Router, tr, cl.Configs, engines, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
